@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments fuzz tools clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation with pass/fail verdicts.
+experiments: tools
+	bin/mpg-experiments
+
+fuzz:
+	$(GO) test -fuzz=FuzzDecoder -fuzztime=30s ./internal/trace
+	$(GO) test -fuzz=FuzzTextReader -fuzztime=30s ./internal/trace
+
+tools:
+	$(GO) build -o bin/ ./cmd/...
+
+clean:
+	rm -rf bin

@@ -1,0 +1,141 @@
+// Command mpg-analyze builds the message-passing graph from a trace
+// directory, injects the configured perturbations, and reports the
+// per-rank delay outcome — the paper's core analysis:
+//
+//	mpg-analyze -traces traces/ -os-noise exponential:200 \
+//	    -latency spike:0.01,constant:5000
+//
+// A platform signature from mpg-bench can supply the distributions:
+//
+//	mpg-analyze -traces traces/ -signature noisy-platform.json
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"mpgraph/internal/cli"
+	"mpgraph/internal/core"
+	"mpgraph/internal/microbench"
+	"mpgraph/internal/report"
+	"mpgraph/internal/scenario"
+	"mpgraph/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mpg-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mpg-analyze", flag.ContinueOnError)
+	var mf cli.ModelFlags
+	mf.Register(fs)
+	traces := fs.String("traces", "", "trace directory from mpg-trace (required)")
+	sigPath := fs.String("signature", "", "platform signature JSON; its empirical distributions override -os-noise/-latency")
+	scenarioPath := fs.String("scenario", "", "scenario JSON bundling all model parameters (overrides individual model flags)")
+	maxWindow := fs.Int("max-window", 0, "abort if the streaming window exceeds this many pending ops (0 = unbounded)")
+	maxRanks := fs.Int("max-ranks", 32, "per-rank rows to print (0 = all)")
+	timeline := fs.Int("timeline", 0, "print a per-rank activity timeline this many columns wide (0 = off)")
+	trajectory := fs.String("trajectory", "", "write a per-event delay CSV (rank,event,kind,orig_end,delay,region) to this path")
+	history := fs.String("history", "", "append this run's summary to a JSON-lines history file (§7)")
+	label := fs.String("label", "", "label for the history entry")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *traces == "" {
+		return fmt.Errorf("-traces is required")
+	}
+	model, err := mf.Build()
+	if err != nil {
+		return err
+	}
+	if *scenarioPath != "" {
+		m, f, err := scenario.Load(*scenarioPath)
+		if err != nil {
+			return err
+		}
+		model = m
+		if f.Name != "" {
+			fmt.Printf("scenario %q\n", f.Name)
+		}
+	}
+	if *sigPath != "" {
+		sig, err := microbench.Load(*sigPath)
+		if err != nil {
+			return err
+		}
+		model.OSNoise = sig.NoiseEmpirical()
+		model.NoiseQuantum = sig.Quantum
+		model.MsgLatency = sig.LatencyJitterEmpirical()
+		fmt.Printf("signature %q: noise %s; latency %s\n",
+			sig.Platform, sig.NoiseSummary(), sig.LatencySummary())
+	}
+
+	if *timeline > 0 {
+		// The timeline drains its own copy of the traces.
+		set, closeFn, err := trace.OpenDir(*traces)
+		if err != nil {
+			return err
+		}
+		if err := report.Timeline(os.Stdout, set, *timeline); err != nil {
+			closeFn() //nolint:errcheck
+			return err
+		}
+		if err := closeFn(); err != nil {
+			return err
+		}
+	}
+
+	set, closeFn, err := trace.OpenDir(*traces)
+	if err != nil {
+		return err
+	}
+	defer closeFn() //nolint:errcheck
+
+	opts := core.Options{MaxWindow: *maxWindow}
+	var trajFile *os.File
+	if *trajectory != "" {
+		trajFile, err = os.Create(*trajectory)
+		if err != nil {
+			return err
+		}
+		defer trajFile.Close() //nolint:errcheck
+		bw := bufio.NewWriter(trajFile)
+		defer bw.Flush() //nolint:errcheck
+		fmt.Fprintln(bw, "rank,event,kind,orig_end,delay,region")
+		opts.Trajectory = func(p core.TrajectoryPoint) {
+			fmt.Fprintf(bw, "%d,%d,%s,%d,%.3f,%d\n",
+				p.Rank, p.Event, trace.Kind(p.Kind), p.OrigEnd, p.Delay, p.Region)
+		}
+	}
+
+	res, err := core.Analyze(set, model, opts)
+	if err != nil {
+		return err
+	}
+	if *history != "" {
+		modelDesc := map[string]string{}
+		if mf.OSNoise != "" {
+			modelDesc["os-noise"] = mf.OSNoise
+		}
+		if mf.Latency != "" {
+			modelDesc["latency"] = mf.Latency
+		}
+		if mf.PerByte != "" {
+			modelDesc["per-byte"] = mf.PerByte
+		}
+		if *sigPath != "" {
+			modelDesc["signature"] = *sigPath
+		}
+		entry := report.NewHistoryEntry(*label, *traces, modelDesc, res)
+		if err := report.AppendHistory(*history, entry); err != nil {
+			return err
+		}
+	}
+	return report.Analysis(os.Stdout, res, *maxRanks)
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpgraph/internal/machine"
+	"mpgraph/internal/microbench"
+	"mpgraph/internal/mpi"
+	"mpgraph/internal/report"
+	"mpgraph/internal/workloads"
+)
+
+// writeTraces produces a trace directory for the tests.
+func writeTraces(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	prog, err := workloads.BuildByName("tokenring", workloads.Options{Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mpi.Run(mpi.Config{
+		Machine:  machine.Config{NRanks: 4, Seed: 1},
+		TraceDir: dir,
+	}, prog); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestAnalyzeRuns(t *testing.T) {
+	dir := writeTraces(t)
+	if err := run([]string{"-traces", dir, "-latency", "constant:100"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeRequiresTraces(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -traces accepted")
+	}
+}
+
+func TestAnalyzeRejectsBadModel(t *testing.T) {
+	dir := writeTraces(t)
+	if err := run([]string{"-traces", dir, "-os-noise", "bad"}); err == nil {
+		t.Fatal("bad model spec accepted")
+	}
+}
+
+func TestAnalyzeWithSignature(t *testing.T) {
+	dir := writeTraces(t)
+	sig, err := microbench.Measure(machine.Config{
+		NRanks: 2, Seed: 2,
+	}, microbench.Config{FTQSamples: 50, PingPongSamples: 20, BandwidthSamples: 3}, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigPath := filepath.Join(t.TempDir(), "sig.json")
+	if err := sig.Save(sigPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-traces", dir, "-signature", sigPath}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeRejectsMissingSignature(t *testing.T) {
+	dir := writeTraces(t)
+	if err := run([]string{"-traces", dir, "-signature", "/nonexistent.json"}); err == nil {
+		t.Fatal("missing signature accepted")
+	}
+}
+
+func TestMain(m *testing.M) {
+	// Silence the tools' stdout noise in test logs? No — keep output;
+	// go test captures it per test anyway.
+	os.Exit(m.Run())
+}
+
+func TestAnalyzeWithTimeline(t *testing.T) {
+	dir := writeTraces(t)
+	if err := run([]string{"-traces", dir, "-timeline", "60"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeWithTrajectory(t *testing.T) {
+	dir := writeTraces(t)
+	out := filepath.Join(t.TempDir(), "traj.csv")
+	if err := run([]string{"-traces", dir, "-latency", "constant:100",
+		"-trajectory", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, "rank,event,kind,orig_end,delay,region\n") {
+		t.Fatalf("missing header: %q", s[:60])
+	}
+	if !strings.Contains(s, "send") || !strings.Contains(s, "recv") {
+		t.Fatal("trajectory missing event kinds")
+	}
+	if strings.Count(s, "\n") < 10 {
+		t.Fatalf("too few trajectory rows:\n%s", s)
+	}
+}
+
+func TestAnalyzeWithHistory(t *testing.T) {
+	dir := writeTraces(t)
+	hist := filepath.Join(t.TempDir(), "history.jsonl")
+	for i := 0; i < 2; i++ {
+		if err := run([]string{"-traces", dir, "-latency", "constant:100",
+			"-history", hist, "-label", "unit"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := report.LoadHistory(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("history entries = %d", len(entries))
+	}
+	if entries[0].Label != "unit" || entries[0].MaxDelay <= 0 {
+		t.Fatalf("entry = %+v", entries[0])
+	}
+	if entries[0].Model["latency"] != "constant:100" {
+		t.Fatalf("model not archived: %+v", entries[0].Model)
+	}
+}
+
+func TestAnalyzeWithScenario(t *testing.T) {
+	dir := writeTraces(t)
+	sc := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(sc, []byte(`{"name":"unit","latency":"constant:100"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-traces", dir, "-scenario", sc}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-traces", dir, "-scenario", "/missing.json"}); err == nil {
+		t.Fatal("missing scenario accepted")
+	}
+}

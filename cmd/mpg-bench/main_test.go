@@ -1,0 +1,40 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mpgraph/internal/microbench"
+)
+
+func TestBenchWritesSignature(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sig.json")
+	err := run([]string{"-ranks", "2", "-machine-noise", "exponential:100",
+		"-out", out, "-label", "unit",
+		"-ftq-samples", "50", "-pingpong-samples", "20", "-bandwidth-samples", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := microbench.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Platform != "unit" || len(sig.NoisePerQuantum) != 50 {
+		t.Fatalf("signature = %+v", sig)
+	}
+	if sig.NoiseSummary().Mean <= 0 {
+		t.Fatal("no noise measured")
+	}
+}
+
+func TestBenchRequiresOut(t *testing.T) {
+	if err := run([]string{"-ranks", "2"}); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+}
+
+func TestBenchRejectsBadMachine(t *testing.T) {
+	if err := run([]string{"-machine-latency", "x", "-out", "sig.json"}); err == nil {
+		t.Fatal("bad machine spec accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpgraph/internal/machine"
+	"mpgraph/internal/mpi"
+	"mpgraph/internal/workloads"
+)
+
+func writeTraces(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	prog, err := workloads.BuildByName("tokenring", workloads.Options{Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mpi.Run(mpi.Config{
+		Machine: machine.Config{NRanks: 4, Seed: 1}, TraceDir: dir,
+	}, prog); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func writeScenario(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareScenarios(t *testing.T) {
+	dir := writeTraces(t)
+	a := writeScenario(t, "a.json", `{"name":"quiet"}`)
+	b := writeScenario(t, "b.json", `{"name":"noisy","latency":"constant:500"}`)
+	if err := run([]string{"-traces", dir, a, b}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareCSV(t *testing.T) {
+	dir := writeTraces(t)
+	a := writeScenario(t, "a.json", `{"os_noise":"constant:50"}`)
+	if err := run([]string{"-traces", dir, "-csv", a}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -traces accepted")
+	}
+	if err := run([]string{"-traces", writeTraces(t)}); err == nil {
+		t.Fatal("no scenarios accepted")
+	}
+	if err := run([]string{"-traces", writeTraces(t), "/missing.json"}); err == nil {
+		t.Fatal("missing scenario accepted")
+	}
+	bad := writeScenario(t, "bad.json", `{"os_noise":"??"}`)
+	if err := run([]string{"-traces", writeTraces(t), bad}); err == nil {
+		t.Fatal("bad scenario accepted")
+	}
+}

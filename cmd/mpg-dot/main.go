@@ -1,0 +1,53 @@
+// Command mpg-dot renders a trace directory's message-passing graph in
+// Graphviz DOT format — the paper's Fig. 5 artifact:
+//
+//	mpg-dot -traces traces/ > graph.dot && dot -Tpdf graph.dot -o graph.pdf
+//
+// Intended for small traces; the node count is 2× the event count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpgraph/internal/core"
+	"mpgraph/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mpg-dot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mpg-dot", flag.ContinueOnError)
+	traces := fs.String("traces", "", "trace directory from mpg-trace (required)")
+	title := fs.String("title", "message-passing graph", "graph title")
+	maxEvents := fs.Int64("max-events", 10_000, "refuse traces with more events than this (0 = no limit)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *traces == "" {
+		return fmt.Errorf("-traces is required")
+	}
+	set, closeFn, err := trace.OpenDir(*traces)
+	if err != nil {
+		return err
+	}
+	defer closeFn() //nolint:errcheck
+
+	g := &core.Graph{}
+	res, err := core.Analyze(set, &core.Model{}, core.Options{Graph: g})
+	if err != nil {
+		return err
+	}
+	if *maxEvents > 0 && res.Events > *maxEvents {
+		return fmt.Errorf("trace has %d events (> -max-events %d); DOT output would be unreadable",
+			res.Events, *maxEvents)
+	}
+	fmt.Print(g.DOT(*title))
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"mpgraph/internal/machine"
+	"mpgraph/internal/mpi"
+	"mpgraph/internal/workloads"
+)
+
+func writeTraces(t *testing.T, iters int) string {
+	t.Helper()
+	dir := t.TempDir()
+	prog, err := workloads.BuildByName("tokenring", workloads.Options{Iterations: iters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mpi.Run(mpi.Config{
+		Machine:  machine.Config{NRanks: 3, Seed: 1},
+		TraceDir: dir,
+	}, prog); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestDotRuns(t *testing.T) {
+	if err := run([]string{"-traces", writeTraces(t, 2)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotRequiresTraces(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -traces accepted")
+	}
+}
+
+func TestDotRefusesHugeTraces(t *testing.T) {
+	if err := run([]string{"-traces", writeTraces(t, 50), "-max-events", "10"}); err == nil {
+		t.Fatal("oversized trace accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// Command mpg-experiments regenerates the paper's evaluation: every
+// figure, the Section 6.1 sweep, and the DESIGN.md ablations, each
+// with a measured-vs-expected verdict. This is the one-command
+// reproduction of EXPERIMENTS.md:
+//
+//	mpg-experiments                 # everything, paper-faithful sizes
+//	mpg-experiments -quick          # reduced sizes (seconds)
+//	mpg-experiments -run sec6.1     # one experiment
+//	mpg-experiments -run fig5 -dot fig5.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpgraph/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mpg-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mpg-experiments", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "run reduced problem sizes")
+	seed := fs.Uint64("seed", 2006, "experiment seed")
+	only := fs.String("run", "", fmt.Sprintf("run a single experiment (%s)",
+		strings.Join(experiments.IDs(), ", ")))
+	dotOut := fs.String("dot", "", "write fig5's DOT artifact to this path")
+	csv := fs.Bool("csv", false, "emit tables as CSV")
+	md := fs.Bool("md", false, "emit tables as markdown (for EXPERIMENTS.md)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+
+	var list []experiments.Experiment
+	if *only != "" {
+		e, ok := experiments.Get(*only)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have %s)", *only,
+				strings.Join(experiments.IDs(), ", "))
+		}
+		list = []experiments.Experiment{e}
+	} else {
+		list = experiments.All()
+	}
+
+	failed := 0
+	for _, e := range list {
+		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
+		out, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		switch {
+		case *csv:
+			err = out.Table.CSV(os.Stdout)
+		case *md:
+			err = out.Table.Markdown(os.Stdout)
+		default:
+			err = out.Table.Render(os.Stdout)
+		}
+		if err != nil {
+			return err
+		}
+		status := "PASS"
+		if !out.Pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s: %s\n\n", status, out.Verdict)
+		if e.ID == "fig5" && *dotOut != "" {
+			if err := os.WriteFile(*dotOut, []byte(out.Extra), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("fig5 DOT written to %s\n\n", *dotOut)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed their shape check", failed)
+	}
+	return nil
+}

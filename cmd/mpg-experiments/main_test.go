@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleQuick(t *testing.T) {
+	if err := run([]string{"-quick", "-run", "fig2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if err := run([]string{"-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestDOTArtifactWritten(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig5.dot")
+	if err := run([]string{"-quick", "-run", "fig5", "-dot", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Fatal("DOT artifact malformed")
+	}
+}
+
+func TestCSVMode(t *testing.T) {
+	if err := run([]string{"-quick", "-run", "ablD", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkdownMode(t *testing.T) {
+	if err := run([]string{"-quick", "-run", "fig2", "-md"}); err != nil {
+		t.Fatal(err)
+	}
+}

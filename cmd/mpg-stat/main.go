@@ -1,0 +1,117 @@
+// Command mpg-stat summarizes a trace directory: per-kind event
+// counts, message-size and compute-gap statistics, per-rank volume —
+// the quick census one runs before deciding what to perturb:
+//
+//	mpg-stat -traces traces/
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"mpgraph/internal/dist"
+	"mpgraph/internal/report"
+	"mpgraph/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mpg-stat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mpg-stat", flag.ContinueOnError)
+	traces := fs.String("traces", "", "trace directory from mpg-trace (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *traces == "" {
+		return fmt.Errorf("-traces is required")
+	}
+	set, closeFn, err := trace.OpenDir(*traces)
+	if err != nil {
+		return err
+	}
+	defer closeFn() //nolint:errcheck
+
+	kindCounts := map[trace.Kind]int64{}
+	var msgBytes, gaps, durations []float64
+	type rankAgg struct {
+		events int64
+		bytes  int64
+		span   int64
+	}
+	perRank := make([]rankAgg, set.NRanks())
+
+	for rank := 0; rank < set.NRanks(); rank++ {
+		rd := set.Rank(rank)
+		var prevEnd int64
+		var first, last int64
+		started := false
+		for {
+			rec, err := rd.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			kindCounts[rec.Kind]++
+			perRank[rank].events++
+			if rec.Kind == trace.KindSend || rec.Kind == trace.KindIsend {
+				msgBytes = append(msgBytes, float64(rec.Bytes))
+				perRank[rank].bytes += rec.Bytes
+			}
+			if started {
+				gaps = append(gaps, float64(rec.Begin-prevEnd))
+			} else {
+				first = rec.Begin
+				started = true
+			}
+			durations = append(durations, float64(rec.Duration()))
+			prevEnd = rec.End
+			last = rec.End
+		}
+		perRank[rank].span = last - first
+	}
+
+	// Per-kind table, sorted by count.
+	type kc struct {
+		k trace.Kind
+		n int64
+	}
+	var kcs []kc
+	for k, n := range kindCounts {
+		kcs = append(kcs, kc{k, n})
+	}
+	sort.Slice(kcs, func(i, j int) bool {
+		if kcs[i].n != kcs[j].n {
+			return kcs[i].n > kcs[j].n
+		}
+		return kcs[i].k < kcs[j].k
+	})
+	kt := report.NewTable("events by kind", "kind", "count")
+	for _, e := range kcs {
+		kt.AddRow(e.k.String(), e.n)
+	}
+	if err := kt.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Printf("\nmessage sizes:  %s\n", dist.Summarize(msgBytes))
+	fmt.Printf("compute gaps:   %s\n", dist.Summarize(gaps))
+	fmt.Printf("event durations: %s\n", dist.Summarize(durations))
+
+	rt := report.NewTable("per-rank", "rank", "events", "sent-bytes", "local-span")
+	for rank, agg := range perRank {
+		rt.AddRow(rank, agg.events, agg.bytes, agg.span)
+	}
+	fmt.Println()
+	return rt.Render(os.Stdout)
+}

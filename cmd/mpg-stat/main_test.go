@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"mpgraph/internal/machine"
+	"mpgraph/internal/mpi"
+	"mpgraph/internal/workloads"
+)
+
+func writeTraces(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	prog, err := workloads.BuildByName("cg", workloads.Options{Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mpi.Run(mpi.Config{
+		Machine: machine.Config{NRanks: 4, Seed: 1}, TraceDir: dir,
+	}, prog); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestStatRuns(t *testing.T) {
+	if err := run([]string{"-traces", writeTraces(t)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatRequiresTraces(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -traces accepted")
+	}
+}
+
+func TestStatRejectsMissingDir(t *testing.T) {
+	if err := run([]string{"-traces", t.TempDir()}); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}

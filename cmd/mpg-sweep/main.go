@@ -1,0 +1,162 @@
+// Command mpg-sweep traces a workload once per sweep point and reports
+// how the analyzed delay grows as a perturbation parameter increases —
+// the paper's Section 6.1 experiment and its generalizations:
+//
+//	mpg-sweep -workload tokenring -ranks 128 -iters 10 \
+//	    -sweep latency -from 0 -to 700 -step 100
+//
+// reproduces the paper's 128-processor study (constant per-message
+// perturbation swept from 0 to 700 cycles) and prints the linear fit
+// the paper describes ("runtime increased by approximately
+// traversals × increment × p"). With -baseline the same sweep also
+// runs through the Dimemas-style DES replayer for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpgraph/internal/baseline"
+	"mpgraph/internal/cli"
+	"mpgraph/internal/core"
+	"mpgraph/internal/dist"
+	"mpgraph/internal/mpi"
+	"mpgraph/internal/report"
+	"mpgraph/internal/trace"
+	"mpgraph/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mpg-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mpg-sweep", flag.ContinueOnError)
+	var mf cli.MachineFlags
+	var wf cli.WorkloadFlags
+	mf.Register(fs)
+	wf.Register(fs)
+	sweep := fs.String("sweep", "latency", "swept parameter: latency|noise|perbyte|ranks (ranks: value = world size, perturbation fixed by -os-noise-mean)")
+	noiseMean := fs.Float64("os-noise-mean", 200, "per-edge noise mean used by -sweep ranks")
+	from := fs.Float64("from", 0, "sweep start value (cycles, or cycles/byte for perbyte)")
+	to := fs.Float64("to", 700, "sweep end value (inclusive)")
+	step := fs.Float64("step", 100, "sweep increment")
+	useBaseline := fs.Bool("baseline", false, "also run the Dimemas-style DES replayer per point")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *step <= 0 || *to < *from {
+		return fmt.Errorf("invalid sweep range [%g,%g] step %g", *from, *to, *step)
+	}
+	mcfg, err := mf.Build()
+	if err != nil {
+		return err
+	}
+	prog, err := workloads.BuildByName(wf.Name, wf.Options())
+	if err != nil {
+		return err
+	}
+	// Trace per sweep point (the machine's rank count may vary when
+	// sweeping over ranks).
+	runTrace := func(nranks int) (*trace.Set, error) {
+		cfg := mcfg
+		cfg.NRanks = nranks
+		res, err := mpi.Run(mpi.Config{Machine: cfg}, prog)
+		if err != nil {
+			return nil, err
+		}
+		return res.TraceSet()
+	}
+
+	headers := []string{"value", "max-delay", "mean-delay", "makespan-delay"}
+	if *useBaseline {
+		headers = append(headers, "des-makespan-growth")
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("%s sweep of %q on %d ranks", *sweep, wf.Name, mcfg.NRanks),
+		headers...)
+
+	var baseMakespan int64 = -1
+	var xs, ys []float64
+	for v := *from; v <= *to+1e-9; v += *step {
+		model := &core.Model{Seed: 1}
+		nranks := mcfg.NRanks
+		switch strings.ToLower(*sweep) {
+		case "latency":
+			model.MsgLatency = dist.Constant{C: v}
+		case "noise":
+			model.OSNoise = dist.Constant{C: v}
+		case "perbyte":
+			model.PerByte = dist.Constant{C: v}
+		case "ranks":
+			nranks = int(v)
+			if nranks < 1 {
+				return fmt.Errorf("-sweep ranks needs positive values, got %g", v)
+			}
+			model.OSNoise = dist.Exponential{MeanValue: *noiseMean}
+		default:
+			return fmt.Errorf("unknown sweep parameter %q", *sweep)
+		}
+		set, err := runTrace(nranks)
+		if err != nil {
+			return err
+		}
+		res, err := core.Analyze(set, model, core.Options{})
+		if err != nil {
+			return err
+		}
+		xs = append(xs, v)
+		ys = append(ys, res.MaxFinalDelay)
+		row := []interface{}{v, res.MaxFinalDelay, res.MeanFinalDelay, res.MakespanDelay}
+		if *useBaseline {
+			set, err := runTrace(nranks)
+			if err != nil {
+				return err
+			}
+			params := baseline.Params{Latency: 1000 + int64(v), BytesPerCycle: mcfg.BytesPerCycle}
+			if strings.ToLower(*sweep) != "latency" {
+				params.Latency = 1000
+				params.OSNoise = dist.Constant{C: v}
+			}
+			rep, err := baseline.Replay(set, params)
+			if err != nil {
+				return err
+			}
+			if baseMakespan < 0 {
+				baseMakespan = rep.Makespan
+			}
+			row = append(row, rep.Makespan-baseMakespan)
+		}
+		tbl.AddRow(row...)
+	}
+
+	if *csv {
+		if err := tbl.CSV(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if len(xs) >= 2 {
+		fit := dist.FitLinear(xs, ys)
+		fmt.Printf("linear fit: max-delay = %.2f*value + %.1f (R²=%.5f)\n",
+			fit.Slope, fit.Intercept, fit.R2)
+		if wf.Name == "tokenring" && strings.ToLower(*sweep) == "latency" {
+			w, _ := workloads.Get("tokenring")
+			iters := wf.Options().Iterations
+			if iters == 0 {
+				iters = w.Defaults.Iterations
+			}
+			fmt.Printf("paper §6.1 expectation: slope ≈ traversals × p = %d × %d = %d\n",
+				iters, mcfg.NRanks, iters*mcfg.NRanks)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestSweepLatency(t *testing.T) {
+	err := run([]string{"-workload", "tokenring", "-ranks", "4", "-iters", "2",
+		"-sweep", "latency", "-from", "0", "-to", "200", "-step", "100"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepNoiseWithBaselineCSV(t *testing.T) {
+	err := run([]string{"-workload", "cg", "-ranks", "3", "-iters", "2",
+		"-sweep", "noise", "-from", "0", "-to", "100", "-step", "50",
+		"-baseline", "-csv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepPerByte(t *testing.T) {
+	err := run([]string{"-workload", "pipeline", "-ranks", "3", "-iters", "2",
+		"-sweep", "perbyte", "-from", "0", "-to", "1", "-step", "0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepRejectsBadRange(t *testing.T) {
+	if err := run([]string{"-from", "100", "-to", "0"}); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if err := run([]string{"-step", "0"}); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+func TestSweepRejectsUnknownParam(t *testing.T) {
+	if err := run([]string{"-sweep", "phase-of-moon", "-ranks", "2",
+		"-workload", "tokenring", "-iters", "1", "-to", "0"}); err == nil {
+		t.Fatal("unknown sweep parameter accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mpgraph/internal/trace"
+)
+
+func TestRunWritesTraces(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "traces")
+	if err := run([]string{"-workload", "tokenring", "-ranks", "4",
+		"-iters", "2", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	set, closeFn, err := trace.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn() //nolint:errcheck
+	if set.NRanks() != 4 {
+		t.Fatalf("NRanks = %d", set.NRanks())
+	}
+	m, err := trace.ReadAll(set.Rank(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hdr.Meta["workload"] != "tokenring" {
+		t.Fatalf("meta = %v", m.Hdr.Meta)
+	}
+}
+
+func TestRunRequiresOut(t *testing.T) {
+	if err := run([]string{"-workload", "tokenring"}); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	if err := run([]string{"-workload", "nope", "-out", t.TempDir()}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunRejectsBadMachineSpec(t *testing.T) {
+	if err := run([]string{"-machine-noise", "zzz", "-out", t.TempDir()}); err == nil {
+		t.Fatal("bad machine spec accepted")
+	}
+}
+
+func TestListWorkloads(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}

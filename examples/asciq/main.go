@@ -1,0 +1,79 @@
+// ASCI Q resonance: the phenomenon behind the paper's Section 5.1
+// citation of Petrini, Kerbyson & Pakin, "The Case of the Missing
+// Supercomputer Performance" — rare per-node daemon noise that is
+// individually negligible destroys fine-grained collective codes at
+// scale, because every allreduce waits for whichever rank was hit.
+//
+// This program traces the same allreduce-per-step kernel at several
+// world sizes and two granularities, then analyzes each trace under a
+// spike noise model (0.5% of events lose 1 ms ≈ 2M cycles). The
+// fine-grained code's slowdown grows sharply with scale while the
+// coarse-grained one barely moves — the resonance the ASCI Q team
+// measured, regenerated from traces in milliseconds.
+//
+//	go run ./examples/asciq
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mpgraph"
+	"mpgraph/internal/report"
+)
+
+func main() {
+	// Per-rank spike noise: each compute quantum has a 0.5% chance of
+	// losing 2M cycles (~1 ms at 2 GHz) to a daemon.
+	noise := mpgraph.MustParseDistribution("spike:0.005,constant:2000000")
+
+	grains := []struct {
+		label   string
+		compute int64
+	}{
+		{"fine (0.1M cycles/step)", 100_000},
+		{"coarse (10M cycles/step)", 10_000_000},
+	}
+
+	tbl := report.NewTable(
+		"allreduce-per-step kernel under spike noise (0.5% of quanta lose 2M cycles)",
+		"ranks", "granularity", "traced-makespan", "predicted-slowdown")
+
+	for _, p := range []int{8, 32, 128} {
+		for _, g := range grains {
+			prog := func(r *mpgraph.Rank) error {
+				for i := 0; i < 30; i++ {
+					r.Compute(g.compute)
+					r.Allreduce(8)
+				}
+				return nil
+			}
+			run, err := mpgraph.Trace(mpgraph.RunConfig{
+				Machine: mpgraph.MachineConfig{NRanks: p, Seed: 1},
+			}, prog)
+			if err != nil {
+				log.Fatal(err)
+			}
+			set, err := run.TraceSet()
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := mpgraph.Analyze(set, &mpgraph.Model{
+				Seed:         7,
+				OSNoise:      noise,
+				NoiseQuantum: 100_000, // sample noise per 0.1M-cycle quantum
+			}, mpgraph.AnalyzeOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			tbl.AddRow(p, g.label, run.Makespan,
+				fmt.Sprintf("%.1f%%", 100*res.MaxFinalDelay/float64(run.Makespan)))
+		}
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfine-grained + collectives resonates with rare noise (slowdown grows with p);")
+	fmt.Println("coarse-grained work absorbs the same noise — the ASCI Q effect.")
+}

@@ -1,0 +1,85 @@
+// Signature-driven cross-platform prediction: the paper's Section 5/6
+// scenario end to end.
+//
+// A CG-like application is traced on a *quiet* platform (think: a
+// lightweight-kernel cluster, the paper's bproc example). Three other
+// platforms — a desktop-class noisy node, a heavy-noise shared node,
+// and a jittery wide-area interconnect — are characterized by
+// microbenchmarks (FTQ + ping-pong), and each resulting signature
+// parameterizes an analysis of the SAME trace, predicting how the
+// application would behave there.
+//
+//	go run ./examples/signature
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mpgraph"
+	"mpgraph/internal/report"
+)
+
+func main() {
+	// Trace the application once on the quiet platform.
+	prog, err := mpgraph.Workload("cg", mpgraph.WorkloadOptions{Iterations: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := mpgraph.Trace(mpgraph.RunConfig{
+		Machine: mpgraph.MachineConfig{NRanks: 16, Seed: 11},
+	}, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := run.TraceSet()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traced on quiet platform: makespan %d cycles\n\n", run.Makespan)
+
+	// Candidate platforms, described only by their machine models —
+	// the analyzer never sees these, only the microbenchmark output.
+	platforms := map[string]mpgraph.MachineConfig{
+		"desktop-noise": {
+			NRanks: 2, Seed: 21,
+			Noise: mpgraph.MustParseDistribution("exponential:150"),
+		},
+		"shared-node": {
+			NRanks: 2, Seed: 22,
+			Noise: mpgraph.MustParseDistribution("spike:0.05,exponential:20000"),
+		},
+		"jittery-wan": {
+			NRanks: 2, Seed: 23,
+			Latency: mpgraph.MustParseDistribution("shifted:5000,exponential:3000"),
+		},
+	}
+
+	tbl := report.NewTable("predicted behaviour of the traced CG run per platform signature",
+		"platform", "ftq-noise-mean", "latency-p95", "max-delay", "slowdown")
+	for _, name := range []string{"desktop-noise", "shared-node", "jittery-wan"} {
+		mcfg := platforms[name]
+		sig, err := mpgraph.MeasureSignature(mcfg, mpgraph.MicrobenchConfig{
+			FTQSamples: 1000, PingPongSamples: 500, BandwidthSamples: 10,
+		}, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model := mpgraph.ModelFromSignature(sig, 99)
+		set.Reset() // trace sets are single-use; rewind between analyses
+		res, err := mpgraph.Analyze(set, model, mpgraph.AnalyzeOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.AddRow(name,
+			fmt.Sprintf("%.0f", sig.NoiseSummary().Mean),
+			fmt.Sprintf("%.0f", sig.LatencySummary().P95),
+			fmt.Sprintf("%.0f", res.MaxFinalDelay),
+			fmt.Sprintf("%.2f%%", 100*res.MaxFinalDelay/float64(run.Makespan)))
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nslowdown = predicted extra runtime / traced runtime")
+}

@@ -1,0 +1,3 @@
+module mpgraph
+
+go 1.22

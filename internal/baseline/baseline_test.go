@@ -1,0 +1,201 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpgraph/internal/core"
+	"mpgraph/internal/dist"
+	"mpgraph/internal/machine"
+	"mpgraph/internal/mpi"
+	"mpgraph/internal/trace"
+	"mpgraph/internal/workloads"
+)
+
+// traceOf runs a workload on a quiet, aligned-clock machine.
+func traceOf(t *testing.T, name string, nranks int, opts workloads.Options) *trace.Set {
+	t.Helper()
+	prog, err := workloads.BuildByName(name, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mpi.Run(mpi.Config{Machine: machine.Config{NRanks: nranks, Seed: 17}}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := res.TraceSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestReplayCompletesAllWorkloads(t *testing.T) {
+	sizes := map[string]int{
+		"tokenring": 6, "stencil1d": 5, "stencil2d": 6, "cg": 4,
+		"masterworker": 4, "pipeline": 5, "butterfly": 4,
+		"randompairs": 5, "bsp": 4, "wavefront": 6, "dynfarm": 4,
+	}
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			set := traceOf(t, name, sizes[name], workloads.Options{})
+			res, err := Replay(set, Params{Latency: 1000, BytesPerCycle: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Makespan <= 0 || res.Records == 0 {
+				t.Fatalf("empty replay: %+v", res)
+			}
+			if res.EventsFired == 0 {
+				t.Fatal("no DES events fired")
+			}
+		})
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	set1 := traceOf(t, "cg", 4, workloads.Options{Iterations: 5})
+	set2 := traceOf(t, "cg", 4, workloads.Options{Iterations: 5})
+	p := Params{Latency: 500, BytesPerCycle: 2, OSNoise: dist.Exponential{MeanValue: 50}, Seed: 3}
+	a, err := Replay(set1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(set2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("nondeterministic replay: %d vs %d", a.Makespan, b.Makespan)
+	}
+}
+
+func TestReplayLatencyScalesTokenRing(t *testing.T) {
+	// The ring's replayed makespan must grow ~linearly in the model
+	// latency: one commTime per hop on the critical chain plus the ack.
+	const p, iters = 8, 5
+	set := func() *trace.Set {
+		return traceOf(t, "tokenring", p, workloads.Options{Iterations: iters})
+	}
+	var xs, ys []float64
+	for _, lat := range []int64{0, 500, 1000, 1500, 2000} {
+		res, err := Replay(set(), Params{Latency: lat, BytesPerCycle: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs = append(xs, float64(lat))
+		ys = append(ys, float64(res.Makespan))
+	}
+	fit := dist.FitLinear(xs, ys)
+	if fit.R2 < 0.999 {
+		t.Fatalf("replay not linear in latency: R2=%g", fit.R2)
+	}
+	hops := float64(p * iters)
+	if fit.Slope < hops || fit.Slope > 2.5*hops {
+		t.Fatalf("slope %g outside [%g,%g]", fit.Slope, hops, 2.5*hops)
+	}
+}
+
+func TestReplayCPURatio(t *testing.T) {
+	set1 := traceOf(t, "pipeline", 4, workloads.Options{Iterations: 6})
+	set2 := traceOf(t, "pipeline", 4, workloads.Options{Iterations: 6})
+	slow, err := Replay(set1, Params{Latency: 100, CPURatio: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Replay(set2, Params{Latency: 100, CPURatio: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Makespan <= fast.Makespan {
+		t.Fatalf("doubling CPU time did not slow the replay: %d vs %d", slow.Makespan, fast.Makespan)
+	}
+}
+
+func TestReplayRejectsBadParams(t *testing.T) {
+	set := traceOf(t, "tokenring", 3, workloads.Options{Iterations: 1})
+	if _, err := Replay(set, Params{Latency: -1}); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+	set = traceOf(t, "tokenring", 3, workloads.Options{Iterations: 1})
+	if _, err := Replay(set, Params{CPURatio: -2}); err == nil {
+		t.Fatal("negative CPU ratio accepted")
+	}
+}
+
+// TestBaselineAgreesOnSynchronous is Ablation C's correctness leg: on
+// a fully synchronous workload, the graph analyzer's predicted
+// makespan *growth* under an extra-latency delta must track the DES
+// replayer's growth when its model latency increases by the same
+// delta.
+func TestBaselineAgreesOnSynchronous(t *testing.T) {
+	const p, iters = 8, 6
+	const delta = 2000.0
+	mk := func() *trace.Set { return traceOf(t, "tokenring", p, workloads.Options{Iterations: iters}) }
+
+	// Graph analyzer: inject delta per message edge.
+	graphRes, err := core.Analyze(mk(), &core.Model{MsgLatency: dist.Constant{C: delta}}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// DES replayer: growth between base latency and base+delta.
+	base, err := Replay(mk(), Params{Latency: 1000, BytesPerCycle: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped, err := Replay(mk(), Params{Latency: 1000 + int64(delta), BytesPerCycle: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	desGrowth := float64(bumped.Makespan - base.Makespan)
+
+	ratio := graphRes.MakespanDelay / desGrowth
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("graph growth %g vs DES growth %g (ratio %g) disagree beyond 2x",
+			graphRes.MakespanDelay, desGrowth, ratio)
+	}
+}
+
+func TestQuickReplayMonotoneInLatency(t *testing.T) {
+	// Property: for arbitrary workloads and latencies, a larger model
+	// latency never shrinks the replayed makespan.
+	f := func(seed uint64) bool {
+		rng := dist.NewRNG(seed)
+		names := workloads.Names()
+		name := names[rng.Intn(len(names))]
+		n := 2 + rng.Intn(4)
+		if name == "butterfly" {
+			n = 4
+		}
+		opts := workloads.Options{Iterations: 1 + rng.Intn(3), Tasks: 4}
+		prev := int64(-1)
+		for _, lat := range []int64{0, 1000, 5000} {
+			prog, err := workloads.BuildByName(name, opts)
+			if err != nil {
+				return false
+			}
+			res, err := mpi.Run(mpi.Config{Machine: machine.Config{NRanks: n, Seed: seed}}, prog)
+			if err != nil {
+				return false
+			}
+			set, err := res.TraceSet()
+			if err != nil {
+				return false
+			}
+			rep, err := Replay(set, Params{Latency: lat, BytesPerCycle: 1})
+			if err != nil {
+				return false
+			}
+			if rep.Makespan < prev {
+				return false
+			}
+			prev = rep.Makespan
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+// Attribution decomposes a delay into where it came from: noise
+// injected on the rank's own local edges, noise injected on other
+// ranks that propagated in through message or collective edges, and
+// message-edge deltas (latency/bandwidth). Because propagation picks
+// one dominating path at every max() merge, the decomposition follows
+// the winning path and the three components sum to the delay exactly
+// (in additive mode; anchored mode's duration absorption makes it an
+// upper-bound decomposition).
+//
+// Attribution answers the practical question behind the paper's §4.2
+// goal ("the degree of suitability of a parallel program to a
+// particular platform"): is a rank slow because of its own platform
+// noise, because of its neighbors, or because of the interconnect?
+type Attribution struct {
+	// OwnNoise is delay from this rank's local-edge deltas.
+	OwnNoise float64
+	// RemoteNoise is delay from other ranks' local-edge deltas that
+	// reached this rank through message/collective edges.
+	RemoteNoise float64
+	// MsgDelta is delay from message-edge deltas (latency and
+	// size-dependent terms), wherever they were injected.
+	MsgDelta float64
+}
+
+// Total returns the attributed delay.
+func (a Attribution) Total() float64 { return a.OwnNoise + a.RemoteNoise + a.MsgDelta }
+
+// addOwn returns a with own-noise delta added.
+func (a Attribution) addOwn(d float64) Attribution {
+	a.OwnNoise += d
+	return a
+}
+
+// addMsg returns a with message delta added.
+func (a Attribution) addMsg(d float64) Attribution {
+	a.MsgDelta += d
+	return a
+}
+
+// asRemote reclassifies a contribution adopted across a rank boundary:
+// every noise component of the winning path becomes remote noise from
+// the adopter's perspective.
+func (a Attribution) asRemote() Attribution {
+	return Attribution{RemoteNoise: a.OwnNoise + a.RemoteNoise, MsgDelta: a.MsgDelta}
+}

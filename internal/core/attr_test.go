@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mpgraph/internal/dist"
+	"mpgraph/internal/machine"
+	"mpgraph/internal/trace"
+)
+
+// TestAttributionSumsToDelay is the core invariant: in additive mode
+// the three attribution components sum to the final delay exactly
+// (the winning path decomposes additively).
+func TestAttributionSumsToDelay(t *testing.T) {
+	cases := []struct {
+		name  string
+		model *Model
+	}{
+		{"noise-only", &Model{Seed: 1, OSNoise: dist.Exponential{MeanValue: 80}}},
+		{"latency-only", &Model{Seed: 2, MsgLatency: dist.Exponential{MeanValue: 200}}},
+		{"mixed", &Model{Seed: 3, OSNoise: dist.Exponential{MeanValue: 80},
+			MsgLatency: dist.Exponential{MeanValue: 200}, PerByte: dist.Constant{C: 0.05}}},
+	}
+	workloadSets := func() []*trace.Set {
+		return []*trace.Set{
+			traceWorkload(t, machine.Config{NRanks: 6, Seed: 4}, ring(4, 512, 800)),
+		}
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, set := range workloadSets() {
+				res, err := Analyze(set, tc.model, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for rank, rr := range res.Ranks {
+					sum := rr.Attr.Total()
+					if math.Abs(sum-rr.FinalDelay) > 1e-6*(1+math.Abs(rr.FinalDelay)) {
+						t.Fatalf("rank %d: attribution sum %g != delay %g (%+v)",
+							rank, sum, rr.FinalDelay, rr.Attr)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAttributionLatencyOnlyIsMsgDelta(t *testing.T) {
+	set := traceWorkload(t, machine.Config{NRanks: 4, Seed: 5}, ring(3, 128, 500))
+	res, err := Analyze(set, &Model{MsgLatency: dist.Constant{C: 300}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, rr := range res.Ranks {
+		if rr.Attr.OwnNoise != 0 || rr.Attr.RemoteNoise != 0 {
+			t.Fatalf("rank %d: latency-only model attributed noise: %+v", rank, rr.Attr)
+		}
+		if rr.Attr.MsgDelta != rr.FinalDelay {
+			t.Fatalf("rank %d: MsgDelta %g != delay %g", rank, rr.Attr.MsgDelta, rr.FinalDelay)
+		}
+	}
+}
+
+// TestAttributionSingleNoisyRank is the "one bad node" study: with
+// per-rank noise on rank 2 only, rank 2's delay is OwnNoise and every
+// other rank's delay is RemoteNoise — the blame points at the noisy
+// node.
+func TestAttributionSingleNoisyRank(t *testing.T) {
+	const p = 6
+	perRank := make([]dist.Distribution, p)
+	perRank[2] = dist.Constant{C: 500}
+	model := &Model{Seed: 6, RankOSNoise: perRank}
+
+	set := traceWorkload(t, machine.Config{NRanks: p, Seed: 7}, ring(4, 128, 500))
+	res, err := Analyze(set, model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := res.Ranks[2].Attr
+	if r2.OwnNoise <= 0 {
+		t.Fatalf("noisy rank has no own-noise attribution: %+v", r2)
+	}
+	for rank, rr := range res.Ranks {
+		if rank == 2 {
+			continue
+		}
+		if rr.FinalDelay <= 0 {
+			t.Fatalf("rank %d: noisy neighbor's delay did not propagate", rank)
+		}
+		if rr.Attr.OwnNoise != 0 {
+			t.Fatalf("rank %d: quiet rank attributed own noise %g", rank, rr.Attr.OwnNoise)
+		}
+		if rr.Attr.RemoteNoise != rr.FinalDelay {
+			t.Fatalf("rank %d: remote-noise %g != delay %g", rank, rr.Attr.RemoteNoise, rr.FinalDelay)
+		}
+	}
+}
+
+// TestAttributionSingleNoisyRankCollectives repeats the bad-node study
+// through collectives under both collective models.
+func TestAttributionSingleNoisyRankCollectives(t *testing.T) {
+	const p = 8
+	perRank := make([]dist.Distribution, p)
+	perRank[5] = dist.Constant{C: 1000}
+
+	coll := func(r int) []trace.Record {
+		c := rec(trace.KindAllreduce, 1_000, 2_000)
+		c.Seq, c.CommSize, c.Bytes = 1, int32(p), 8
+		return []trace.Record{
+			rec(trace.KindInit, 0, 10), c, rec(trace.KindFinalize, 3_000, 3_000),
+		}
+	}
+	for _, mode := range []CollectiveMode{CollectiveApprox, CollectiveExplicit} {
+		perRankRecs := make([][]trace.Record, p)
+		for r := 0; r < p; r++ {
+			perRankRecs[r] = coll(r)
+		}
+		set := mkset(t, perRankRecs...)
+		res, err := Analyze(set, &Model{Seed: 8, RankOSNoise: perRank, Collectives: mode}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rank, rr := range res.Ranks {
+			if rank == 5 {
+				if rr.Attr.OwnNoise <= 0 {
+					t.Fatalf("%s: noisy rank 5 attribution: %+v", mode, rr.Attr)
+				}
+				continue
+			}
+			if rr.FinalDelay > 0 && rr.Attr.RemoteNoise <= 0 {
+				t.Fatalf("%s: rank %d delayed %g but remote-noise = %g",
+					mode, rank, rr.FinalDelay, rr.Attr.RemoteNoise)
+			}
+			if rr.Attr.OwnNoise != 0 {
+				t.Fatalf("%s: quiet rank %d has own noise %g", mode, rank, rr.Attr.OwnNoise)
+			}
+		}
+	}
+}
+
+func TestRankOSNoiseFallback(t *testing.T) {
+	// Entries beyond the slice or nil entries fall back to OSNoise.
+	model := &Model{
+		Seed:        9,
+		OSNoise:     dist.Constant{C: 10},
+		RankOSNoise: []dist.Distribution{dist.Constant{C: 100}}, // rank 0 only
+	}
+	set := traceWorkload(t, machine.Config{NRanks: 2, Seed: 10}, ring(2, 64, 500))
+	res, err := Analyze(set, model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks[0].InjectedLocal <= res.Ranks[1].InjectedLocal {
+		t.Fatalf("per-rank override not applied: %g vs %g",
+			res.Ranks[0].InjectedLocal, res.Ranks[1].InjectedLocal)
+	}
+	if res.Ranks[1].InjectedLocal == 0 {
+		t.Fatal("fallback OSNoise not applied to rank 1")
+	}
+}
+
+func TestModelZeroWithRankNoise(t *testing.T) {
+	m := &Model{RankOSNoise: make([]dist.Distribution, 4)}
+	if !m.Zero() {
+		t.Fatal("all-nil per-rank noise should still be zero")
+	}
+	m.RankOSNoise[2] = dist.Constant{C: 1}
+	if m.Zero() {
+		t.Fatal("per-rank noise not detected by Zero()")
+	}
+}
+
+func TestAttributionHelpers(t *testing.T) {
+	a := Attribution{OwnNoise: 1, RemoteNoise: 2, MsgDelta: 3}
+	if a.Total() != 6 {
+		t.Fatalf("Total = %g", a.Total())
+	}
+	b := a.addOwn(4)
+	if b.OwnNoise != 5 || a.OwnNoise != 1 {
+		t.Fatal("addOwn should not mutate the receiver")
+	}
+	c := a.addMsg(7)
+	if c.MsgDelta != 10 {
+		t.Fatalf("addMsg = %+v", c)
+	}
+	r := a.asRemote()
+	if r.OwnNoise != 0 || r.RemoteNoise != 3 || r.MsgDelta != 3 {
+		t.Fatalf("asRemote = %+v", r)
+	}
+}

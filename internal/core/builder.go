@@ -1,0 +1,753 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"mpgraph/internal/trace"
+)
+
+// Analyze builds the message-passing graph from the trace set and
+// propagates the model's perturbations through it in a single
+// streaming pass, returning the per-rank delay outcome.
+func Analyze(set *trace.Set, model *Model, opts Options) (*Result, error) {
+	a, err := newAnalyzer(set, model, opts)
+	if err != nil {
+		return nil, err
+	}
+	return a.run()
+}
+
+// --- matching state ----------------------------------------------------
+
+// msgKey identifies a point-to-point matching queue (world ranks).
+type msgKey struct {
+	comm     int32
+	src, dst int32
+	tag      int32
+}
+
+// msgState tracks one point-to-point transfer through matching and
+// delay resolution.
+type msgState struct {
+	bytes    int64
+	sendSeen bool
+	recvSeen bool
+
+	sendStartD float64 // D at the sender's post (start subevent)
+	recvPostD  float64 // D at the receiver's post
+	sendAttr   Attribution
+	recvAttr   Attribution
+	// cRecvFromData records which side's path dominated the transfer
+	// completion (true: the sender's data path; false: the receiver's
+	// post), which decides attribution perspective.
+	cRecvFromData bool
+
+	// Deltas sampled at match time.
+	dLat1, dPerByte, dLat2, dOS2 float64
+	cData, cRecv                 float64
+	matched                      bool
+
+	// Ranks stalled on this transfer (blocking sender/receiver or
+	// waiters), to be rescheduled when the match resolves.
+	waiters []int
+
+	// Graph-sink bookkeeping.
+	sendStartRef NodeRef
+	sendDoneRef  NodeRef
+	recvDoneRef  NodeRef
+	sendDoneSet  bool
+	recvDoneSet  bool
+	dataEmitted  bool
+	ackEmitted   bool
+}
+
+// recvPerspective is the attribution of the transfer completion as
+// seen by the receiving rank: a data-path win is remote, an own-post
+// win is local.
+func (m *msgState) recvPerspective() Attribution {
+	if m.cRecvFromData {
+		return m.sendAttr.asRemote().addMsg(m.dLat1 + m.dPerByte)
+	}
+	return m.recvAttr
+}
+
+// sendPerspective is the attribution of the transfer completion as
+// seen by the sending rank: its own data path stays local, a
+// receiver-post win is remote.
+func (m *msgState) sendPerspective() Attribution {
+	if m.cRecvFromData {
+		return m.sendAttr.addMsg(m.dLat1 + m.dPerByte)
+	}
+	return m.recvAttr.asRemote()
+}
+
+// collKey identifies one collective instance.
+type collKey struct {
+	comm int32
+	seq  int64
+}
+
+// collParticipant is one rank's arrival at a collective.
+type collParticipant struct {
+	rank      int
+	startD    float64
+	startAttr Attribution
+	startRef  NodeRef
+	endRef    NodeRef
+	dur       int64
+	outD      float64     // resolved completion contribution
+	outAttr   Attribution // attribution of outD from this rank's view
+}
+
+// collState gathers a collective's participants until all arrive.
+type collState struct {
+	kind     trace.Kind
+	bytes    int64
+	expect   int
+	root     int32
+	parts    []collParticipant
+	resolved bool
+	lMax     float64 // the propagated max (approx mode), for labels
+}
+
+// --- per-rank state -----------------------------------------------------
+
+type phase uint8
+
+const (
+	phaseFetch    phase = iota // need next record from the reader
+	phaseComplete              // record posted; completing (may stall)
+	phaseEOF
+)
+
+type rankState struct {
+	rank   int
+	reader trace.Reader
+
+	eventIdx int64
+	started  bool
+	prevEnd  int64   // traced local end of the previous record
+	prevD    float64 // D at the previous record's end
+
+	ph        phase
+	cur       trace.Record
+	startD    float64     // D at cur's start subevent
+	startAttr Attribution // attribution of startD
+	prevAttr  Attribution // attribution at the previous record's end
+	posted    bool        // cur's side effects (queue postings) done
+	myMsg     *msgState
+	myColl    *collState
+
+	stalled bool
+	why     string
+
+	region int32
+
+	reqs map[uint64]*reqRef
+
+	sendReqs    int64
+	waitedSends int64
+	unwaited    int
+}
+
+// reqRef links a request id to its transfer and side.
+type reqRef struct {
+	msg    *msgState
+	isSend bool
+	waited bool
+}
+
+// --- analyzer -----------------------------------------------------------
+
+type analyzer struct {
+	set   *trace.Set
+	model *Model
+	opts  Options
+	smp   *sampler
+	res   *Result
+
+	ranks  []*rankState
+	queues map[msgKey][]*msgState // unmatched posts, FIFO per key
+	colls  map[collKey]*collState
+
+	pendingOps int
+
+	runnable []int
+	queued   []bool
+}
+
+func newAnalyzer(set *trace.Set, model *Model, opts Options) (*analyzer, error) {
+	if model == nil {
+		model = &Model{}
+	}
+	if opts.Burst <= 0 {
+		opts.Burst = 64
+	}
+	n := set.NRanks()
+	a := &analyzer{
+		set:    set,
+		model:  model,
+		opts:   opts,
+		smp:    newSampler(model, n),
+		res:    &Result{NRanks: n, Ranks: make([]RankResult, n), Regions: map[RegionKey]*RegionStats{}},
+		ranks:  make([]*rankState, n),
+		queues: map[msgKey][]*msgState{},
+		colls:  map[collKey]*collState{},
+		queued: make([]bool, n),
+	}
+	for r := 0; r < n; r++ {
+		a.ranks[r] = &rankState{
+			rank:   r,
+			reader: set.Rank(r),
+			region: -1,
+			reqs:   map[uint64]*reqRef{},
+		}
+		a.enqueue(r)
+	}
+	return a, nil
+}
+
+func (a *analyzer) enqueue(rank int) {
+	if !a.queued[rank] {
+		a.queued[rank] = true
+		a.runnable = append(a.runnable, rank)
+	}
+}
+
+func (a *analyzer) run() (*Result, error) {
+	for len(a.runnable) > 0 {
+		rank := a.runnable[0]
+		a.runnable = a.runnable[1:]
+		a.queued[rank] = false
+		if err := a.processBurst(a.ranks[rank]); err != nil {
+			return nil, err
+		}
+	}
+	// Every rank must have drained cleanly.
+	var stuck []string
+	for _, rs := range a.ranks {
+		if rs.ph != phaseEOF {
+			stuck = append(stuck, fmt.Sprintf("rank %d: %s", rs.rank, rs.why))
+		}
+	}
+	if len(stuck) > 0 {
+		sort.Strings(stuck)
+		return nil, fmt.Errorf("core: trace is not self-consistent; unresolved events: %v", stuck)
+	}
+	for rank := range a.res.Ranks {
+		if a.res.Ranks[rank].Events == 0 {
+			return nil, fmt.Errorf("core: rank %d trace is empty — trace sets are single-use; build a fresh Set (or Reset an in-memory one) before re-analyzing", rank)
+		}
+	}
+	if a.pendingOps > 0 {
+		a.res.warnf("analysis ended with %d unmatched posted operations (unreceived sends or unsent receives)", a.pendingOps)
+	}
+	if a.res.OrderViolations > 0 {
+		a.res.warnf("%d negative perturbations were clamped to preserve event order (§4.3)", a.res.OrderViolations)
+	}
+	a.res.finalize()
+	return a.res, nil
+}
+
+// processBurst advances one rank by up to Burst records, stopping on
+// stall or EOF.
+func (a *analyzer) processBurst(rs *rankState) error {
+	for i := 0; i < a.opts.Burst; i++ {
+		switch rs.ph {
+		case phaseEOF:
+			return nil
+		case phaseFetch:
+			rec, err := rs.reader.Next()
+			if errors.Is(err, io.EOF) {
+				a.finishRank(rs)
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("core: rank %d: %w", rs.rank, err)
+			}
+			if err := a.beginRecord(rs, rec); err != nil {
+				return err
+			}
+		case phaseComplete:
+			done, err := a.completeRecord(rs)
+			if err != nil {
+				return err
+			}
+			if !done {
+				rs.stalled = true
+				return nil // stalled; another rank will re-enqueue us
+			}
+		}
+		if a.opts.MaxWindow > 0 && a.pendingOps > a.opts.MaxWindow {
+			return fmt.Errorf("core: streaming window exceeded %d pending operations (high water %d); raise Options.MaxWindow or check the trace for unreceived sends",
+				a.opts.MaxWindow, a.res.WindowHighWater)
+		}
+	}
+	a.enqueue(rs.rank) // budget exhausted, come back later
+	return nil
+}
+
+// beginRecord handles the record's start subevent: the compute-gap
+// local edge and the queue side effects that must happen exactly once.
+func (a *analyzer) beginRecord(rs *rankState, rec trace.Record) error {
+	if err := rec.Validate(); err != nil {
+		return fmt.Errorf("core: rank %d record %d: %w", rs.rank, rs.eventIdx, err)
+	}
+	if rs.started && rec.Begin < rs.prevEnd {
+		return fmt.Errorf("core: rank %d: record %d overlaps its predecessor", rs.rank, rs.eventIdx)
+	}
+	rs.cur = rec
+	rs.posted = false
+	rs.myMsg = nil
+	rs.myColl = nil
+	rs.ph = phaseComplete
+
+	gap := int64(0)
+	if rs.started {
+		gap = rec.Begin - rs.prevEnd
+	}
+	delta := a.smp.computeNoise(rs.rank, gap)
+	rs.startD = rs.prevD + delta
+	rs.startAttr = rs.prevAttr.addOwn(delta)
+	a.res.Ranks[rs.rank].InjectedLocal += delta
+	if a.model.AllowNegative && rs.started {
+		// Order preservation (§4.3): an event may not begin before its
+		// predecessor's perturbed end.
+		if floor := rs.prevD - float64(gap); rs.startD < floor {
+			rs.startD = floor
+			a.res.OrderViolations++
+		}
+	}
+
+	if sink := a.opts.Graph; sink != nil {
+		ref := NodeRef{Rank: rs.rank, Event: rs.eventIdx}
+		sink.AddNode(ref, rec.Begin, rec)
+		if rs.started {
+			prev := NodeRef{Rank: rs.rank, Event: rs.eventIdx - 1, End: true}
+			sink.AddEdge(prev, ref, EdgeLocal, gap, "compute")
+		}
+	}
+	return nil
+}
+
+// completeRecord attempts to resolve the current record's end
+// subevent. It returns false when the record must wait for remote
+// counterparts (the rank stalls).
+func (a *analyzer) completeRecord(rs *rankState) (bool, error) {
+	rec := rs.cur
+	var endD float64
+	var endAttr Attribution
+	switch {
+	case rec.Kind == trace.KindMarker:
+		rs.region = rec.Tag
+		endD = rs.startD
+		endAttr = rs.startAttr
+
+	case rec.Kind == trace.KindInit || rec.Kind == trace.KindFinalize:
+		delta := a.smp.osNoise(rs.rank)
+		a.res.Ranks[rs.rank].InjectedLocal += delta
+		endD, endAttr = a.combineLocal(rs, delta, rec.Duration())
+
+	case rec.Kind == trace.KindSend || rec.Kind == trace.KindRecv:
+		d, attr, ok, err := a.completeBlockingP2P(rs, rec)
+		if err != nil || !ok {
+			return ok, err
+		}
+		endD, endAttr = d, attr
+
+	case rec.Kind == trace.KindIsend || rec.Kind == trace.KindIrecv:
+		endD = rs.startD // immediate return: end times unmodified (Eq. 2)
+		endAttr = rs.startAttr
+		a.postNonblocking(rs, rec)
+
+	case rec.Kind.IsCompletion():
+		d, attr, ok, err := a.completeWait(rs, rec)
+		if err != nil || !ok {
+			return ok, err
+		}
+		endD, endAttr = d, attr
+
+	case rec.Kind.IsCollective():
+		d, attr, ok, err := a.completeCollective(rs, rec)
+		if err != nil || !ok {
+			return ok, err
+		}
+		endD, endAttr = d, attr
+
+	default:
+		return false, fmt.Errorf("core: rank %d: unsupported record kind %s", rs.rank, rec.Kind)
+	}
+
+	a.finishRecord(rs, rec, endD, endAttr)
+	return true, nil
+}
+
+// finishRecord commits the resolved end subevent and advances the
+// rank's frontier.
+func (a *analyzer) finishRecord(rs *rankState, rec trace.Record, endD float64, endAttr Attribution) {
+	if a.model.AllowNegative {
+		// Order preservation (§4.3): an event may not end before it
+		// begins under negative perturbations.
+		if floor := rs.startD - float64(rec.Duration()); endD < floor {
+			endD = floor
+			a.res.OrderViolations++
+		}
+	}
+	if sink := a.opts.Graph; sink != nil {
+		ref := NodeRef{Rank: rs.rank, Event: rs.eventIdx, End: true}
+		sink.AddNode(ref, rec.End, rec)
+		sink.AddEdge(NodeRef{Rank: rs.rank, Event: rs.eventIdx}, ref,
+			EdgeLocal, rec.Duration(), rec.Kind.String())
+	}
+	rs.started = true
+	rs.prevEnd = rec.End
+	rs.prevD = endD
+	rs.prevAttr = endAttr
+	rs.stalled = false
+	rs.why = ""
+	rs.eventIdx++
+	rs.ph = phaseFetch
+
+	rr := &a.res.Ranks[rs.rank]
+	rr.Events++
+	a.res.Events++
+	a.res.DelayStats.Add(endD)
+	if a.opts.Trajectory != nil {
+		a.opts.Trajectory(TrajectoryPoint{
+			Rank:    rs.rank,
+			Event:   rs.eventIdx - 1,
+			Kind:    uint8(rec.Kind),
+			OrigEnd: rec.End,
+			Delay:   endD,
+			Region:  rs.region,
+		})
+	}
+
+	key := RegionKey{Rank: rs.rank, Region: rs.region}
+	reg := a.res.Regions[key]
+	if reg == nil {
+		reg = &RegionStats{}
+		a.res.Regions[key] = reg
+	}
+	if !reg.firstSeen {
+		reg.firstSeen = true
+		reg.firstDelay = endD
+	}
+	reg.Events++
+	reg.DelayGrowth = endD - reg.firstDelay
+}
+
+// finishRank handles EOF on one rank.
+func (a *analyzer) finishRank(rs *rankState) {
+	rs.ph = phaseEOF
+	rr := &a.res.Ranks[rs.rank]
+	rr.OrigEnd = rs.prevEnd
+	rr.FinalDelay = rs.prevD
+	rr.Attr = rs.prevAttr
+	if rs.sendReqs > 0 && rs.waitedSends == 0 {
+		// The paper's Section 4.3 warning: only asynchronous sends with
+		// no completion check — perturbation correctness cannot be
+		// guaranteed for arbitrary perturbations.
+		a.res.warnf("rank %d issues nonblocking sends but never waits on any; perturbed ordering cannot be guaranteed (paper §4.3)", rs.rank)
+	}
+	if rs.unwaited > 0 {
+		a.res.warnf("rank %d finalized with %d outstanding nonblocking requests", rs.rank, rs.unwaited)
+	}
+}
+
+// --- combination rules --------------------------------------------------
+
+// combineLocal folds a local-edge delta into the running delay.
+// Additive: D(end) = D(start) + δ. Anchored: the event's traced
+// duration absorbs the delta: D(end) = max(D(start), D(start)+δ−w).
+func (a *analyzer) combineLocal(rs *rankState, delta float64, w int64) (float64, Attribution) {
+	startD := rs.startD
+	if a.model.Propagation == PropagationAnchored {
+		v := startD + delta - float64(w)
+		if v < startD {
+			return startD, rs.startAttr
+		}
+		return v, rs.startAttr.addOwn(delta - float64(w))
+	}
+	return startD + delta, rs.startAttr.addOwn(delta)
+}
+
+// merge folds one remote contribution into the local one, recording
+// absorbed/propagated statistics for the rank and its current region.
+func (a *analyzer) merge(rs *rankState, local, remote float64) float64 {
+	rr := &a.res.Ranks[rs.rank]
+	key := RegionKey{Rank: rs.rank, Region: rs.region}
+	reg := a.res.Regions[key]
+	if reg == nil {
+		reg = &RegionStats{}
+		a.res.Regions[key] = reg
+	}
+	if remote > local {
+		rr.Propagated++
+		reg.Propagated++
+		rr.DelayInduced += remote - local
+		return remote
+	}
+	rr.Absorbed++
+	reg.Absorbed++
+	rr.SlackAbsorbed += local - remote
+	return local
+}
+
+// --- point-to-point -----------------------------------------------------
+
+// postP2P registers the record's post with the matching queues and
+// resolves the transfer if the counterpart has already posted.
+func (a *analyzer) postP2P(rs *rankState, rec trace.Record, isSend bool, startD float64) *msgState {
+	var key msgKey
+	if isSend {
+		key = msgKey{comm: rec.Comm, src: int32(rs.rank), dst: rec.Peer, tag: rec.Tag}
+	} else {
+		key = msgKey{comm: rec.Comm, src: rec.Peer, dst: int32(rs.rank), tag: rec.Tag}
+	}
+	q := a.queues[key]
+	var m *msgState
+	// Find the first entry still missing our side (FIFO, non-overtaking).
+	for _, cand := range q {
+		if isSend && !cand.sendSeen || !isSend && !cand.recvSeen {
+			m = cand
+			break
+		}
+	}
+	if m == nil {
+		m = &msgState{}
+		a.queues[key] = append(q, m)
+		a.windowGrow()
+	}
+	if isSend {
+		m.sendSeen = true
+		m.sendStartD = startD
+		m.sendAttr = rs.startAttr
+		m.bytes = rec.Bytes
+		m.sendStartRef = NodeRef{Rank: rs.rank, Event: rs.eventIdx}
+	} else {
+		m.recvSeen = true
+		m.recvPostD = startD
+		m.recvAttr = rs.startAttr
+	}
+	if m.sendSeen && m.recvSeen && !m.matched {
+		a.resolveMatch(key, m, int(key.dst))
+	}
+	return m
+}
+
+// resolveMatch samples the transfer's deltas and computes the shared
+// path contributions (paper Fig. 2 / Eq. 1 structure):
+//
+//	cData = D(send start) + δ_λ1 + δ_t(d)   — the data path
+//	cRecv = max(cData, D(recv post))        — transfer completion
+func (a *analyzer) resolveMatch(key msgKey, m *msgState, recvRank int) {
+	m.dLat1 = a.smp.latency()
+	m.dPerByte = a.smp.perByte(m.bytes)
+	m.dLat2 = a.smp.latency()
+	m.dOS2 = a.smp.osNoise(recvRank)
+	m.cData = m.sendStartD + m.dLat1 + m.dPerByte
+	m.cRecv = m.cData
+	m.cRecvFromData = true
+	if m.recvPostD > m.cRecv {
+		m.cRecv = m.recvPostD
+		m.cRecvFromData = false
+	}
+	m.matched = true
+	// Drop the matched entry from the front region of its queue.
+	q := a.queues[key]
+	for i, cand := range q {
+		if cand == m {
+			a.queues[key] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(a.queues[key]) == 0 {
+		delete(a.queues, key)
+	}
+	a.windowShrink()
+	for _, w := range m.waiters {
+		a.enqueue(w)
+	}
+	m.waiters = nil
+}
+
+// completeBlockingP2P resolves a blocking Send or Recv end subevent.
+func (a *analyzer) completeBlockingP2P(rs *rankState, rec trace.Record) (float64, Attribution, bool, error) {
+	isSend := rec.Kind == trace.KindSend
+	if !rs.posted {
+		rs.myMsg = a.postP2P(rs, rec, isSend, rs.startD)
+		rs.posted = true
+	}
+	m := rs.myMsg
+	if !m.matched {
+		m.waiters = append(m.waiters, rs.rank)
+		rs.why = fmt.Sprintf("%s peer=%d tag=%d", rec.Kind, rec.Peer, rec.Tag)
+		return 0, Attribution{}, false, nil
+	}
+	var d float64
+	var attr Attribution
+	if isSend {
+		d, attr = a.sendCompletion(rs, m, rec.Duration())
+		a.sinkSendDone(rs, m)
+	} else {
+		d, attr = a.recvCompletion(rs, m, rec.Duration())
+		a.sinkRecvDone(rs, m)
+	}
+	return d, attr, true, nil
+}
+
+// sendCompletion applies Eq. 1's sender rule: the local path carries
+// δ_os1, the remote path is the transfer completion plus the
+// acknowledgment latency δ_λ2 (and, anchored, the receiver-side noise
+// that Eq. 1's third term includes).
+func (a *analyzer) sendCompletion(rs *rankState, m *msgState, w int64) (float64, Attribution) {
+	startD := rs.startD
+	dOS1 := a.smp.osNoise(rs.rank)
+	a.res.Ranks[rs.rank].InjectedLocal += dOS1
+	if a.model.Propagation == PropagationAnchored {
+		local := startD
+		localAttr := rs.startAttr
+		if v := startD + dOS1 - float64(w); v > local {
+			local = v
+			localAttr = rs.startAttr.addOwn(dOS1 - float64(w))
+		}
+		remote := m.cRecv + m.dOS2 + m.dLat2 - float64(w)
+		remoteAttr := m.sendPerspective()
+		remoteAttr.RemoteNoise += m.dOS2
+		remoteAttr.MsgDelta += m.dLat2 - float64(w)
+		if a.merge(rs, local, remote) == remote && remote > local {
+			return remote, remoteAttr
+		}
+		return local, localAttr
+	}
+	local := startD + dOS1
+	remote := m.cRecv + m.dLat2
+	if a.merge(rs, local, remote) == remote && remote > local {
+		return remote, m.sendPerspective().addMsg(m.dLat2)
+	}
+	return local, rs.startAttr.addOwn(dOS1)
+}
+
+// recvCompletion applies Eq. 1's receiver rule: the local path carries
+// δ_os2, the remote path is the data arrival.
+func (a *analyzer) recvCompletion(rs *rankState, m *msgState, w int64) (float64, Attribution) {
+	startD := rs.startD
+	a.res.Ranks[rs.rank].InjectedLocal += m.dOS2
+	if a.model.Propagation == PropagationAnchored {
+		local := startD
+		localAttr := rs.startAttr
+		if v := startD + m.dOS2 + m.dLat1 + m.dPerByte - float64(w); v > local {
+			local = v
+			localAttr = rs.startAttr.addOwn(m.dOS2).addMsg(m.dLat1 + m.dPerByte - float64(w))
+		}
+		remote := m.cData + m.dOS2 - float64(w)
+		remoteAttr := m.sendAttr.asRemote().addMsg(m.dLat1 + m.dPerByte - float64(w))
+		remoteAttr.OwnNoise += m.dOS2
+		if a.merge(rs, local, remote) == remote && remote > local {
+			return remote, remoteAttr
+		}
+		return local, localAttr
+	}
+	local := startD + m.dOS2
+	remote := m.cRecv
+	if a.merge(rs, local, remote) == remote && remote > local {
+		return remote, m.recvPerspective()
+	}
+	return local, rs.startAttr.addOwn(m.dOS2)
+}
+
+// postNonblocking registers an Isend/Irecv post; the end subevent is
+// unperturbed (immediate return).
+func (a *analyzer) postNonblocking(rs *rankState, rec trace.Record) {
+	isSend := rec.Kind == trace.KindIsend
+	m := a.postP2P(rs, rec, isSend, rs.startD)
+	rs.reqs[rec.Req] = &reqRef{msg: m, isSend: isSend}
+	rs.unwaited++
+	if isSend {
+		rs.sendReqs++
+	}
+}
+
+// completeWait resolves a Wait/Waitall record against its request.
+func (a *analyzer) completeWait(rs *rankState, rec trace.Record) (float64, Attribution, bool, error) {
+	ref := rs.reqs[rec.Req]
+	if ref == nil {
+		return 0, Attribution{}, false, fmt.Errorf("core: rank %d: wait on unknown request %d", rs.rank, rec.Req)
+	}
+	m := ref.msg
+	if !m.matched {
+		m.waiters = append(m.waiters, rs.rank)
+		rs.why = fmt.Sprintf("%s req=%d", rec.Kind, rec.Req)
+		return 0, Attribution{}, false, nil
+	}
+	if !ref.waited {
+		ref.waited = true
+		rs.unwaited--
+		if ref.isSend {
+			rs.waitedSends++
+		}
+	}
+	var d float64
+	var attr Attribution
+	if ref.isSend {
+		d, attr = a.sendCompletion(rs, m, rec.Duration())
+		a.sinkSendDone(rs, m)
+	} else {
+		d, attr = a.recvCompletion(rs, m, rec.Duration())
+		a.sinkRecvDone(rs, m)
+	}
+	return d, attr, true, nil
+}
+
+// sinkSendDone / sinkRecvDone emit the message edges once the
+// corresponding completion subevents are known. The data edge runs
+// send-start → receive-completion-end; the acknowledgment edge runs
+// receive-completion-end → send-completion-end (Fig. 2/3).
+func (a *analyzer) sinkSendDone(rs *rankState, m *msgState) {
+	if a.opts.Graph == nil {
+		return
+	}
+	m.sendDoneRef = NodeRef{Rank: rs.rank, Event: rs.eventIdx, End: true}
+	m.sendDoneSet = true
+	a.sinkMsgEdges(m)
+}
+
+func (a *analyzer) sinkRecvDone(rs *rankState, m *msgState) {
+	if a.opts.Graph == nil {
+		return
+	}
+	m.recvDoneRef = NodeRef{Rank: rs.rank, Event: rs.eventIdx, End: true}
+	m.recvDoneSet = true
+	a.sinkMsgEdges(m)
+}
+
+func (a *analyzer) sinkMsgEdges(m *msgState) {
+	if !m.recvDoneSet {
+		return
+	}
+	sink := a.opts.Graph
+	if !m.dataEmitted {
+		sink.AddEdge(m.sendStartRef, m.recvDoneRef, EdgeMessage, 0,
+			fmt.Sprintf("data %dB", m.bytes))
+		m.dataEmitted = true
+	}
+	if m.sendDoneSet && !m.ackEmitted {
+		sink.AddEdge(m.recvDoneRef, m.sendDoneRef, EdgeMessage, 0, "ack")
+		m.ackEmitted = true
+	}
+}
+
+// --- window accounting ---------------------------------------------------
+
+func (a *analyzer) windowGrow() {
+	a.pendingOps++
+	if a.pendingOps > a.res.WindowHighWater {
+		a.res.WindowHighWater = a.pendingOps
+	}
+}
+
+func (a *analyzer) windowShrink() { a.pendingOps-- }

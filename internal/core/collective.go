@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+
+	"mpgraph/internal/trace"
+)
+
+// completeCollective resolves a collective record. All participants
+// stall until the last one arrives; the last arrival computes every
+// participant's outbound contribution under the configured collective
+// model and reschedules the others.
+func (a *analyzer) completeCollective(rs *rankState, rec trace.Record) (float64, Attribution, bool, error) {
+	key := collKey{comm: rec.Comm, seq: rec.Seq}
+	cs := rs.myColl // a stalled participant resumes on its own instance
+	if cs == nil {
+		cs = a.colls[key]
+	}
+	if cs == nil {
+		cs = &collState{
+			kind:   rec.Kind,
+			bytes:  rec.Bytes,
+			expect: int(rec.CommSize),
+			root:   rec.Root,
+		}
+		a.colls[key] = cs
+		a.windowGrow()
+	}
+	if !rs.posted {
+		if cs.kind != rec.Kind || cs.root != rec.Root {
+			return 0, Attribution{}, false, fmt.Errorf("core: rank %d: collective mismatch at comm %d seq %d: %s/root=%d vs %s/root=%d",
+				rs.rank, rec.Comm, rec.Seq, rec.Kind, rec.Root, cs.kind, cs.root)
+		}
+		if len(cs.parts) >= cs.expect {
+			return 0, Attribution{}, false, fmt.Errorf("core: comm %d seq %d has more participants than its size %d",
+				rec.Comm, rec.Seq, cs.expect)
+		}
+		cs.parts = append(cs.parts, collParticipant{
+			rank:      rs.rank,
+			startD:    rs.startD,
+			startAttr: rs.startAttr,
+			startRef:  NodeRef{Rank: rs.rank, Event: rs.eventIdx},
+			endRef:    NodeRef{Rank: rs.rank, Event: rs.eventIdx, End: true},
+			dur:       rec.Duration(),
+		})
+		rs.posted = true
+		rs.myColl = cs
+	}
+	if len(cs.parts) < cs.expect {
+		rs.why = fmt.Sprintf("%s comm=%d seq=%d (%d/%d arrived)",
+			rec.Kind, rec.Comm, rec.Seq, len(cs.parts), cs.expect)
+		return 0, Attribution{}, false, nil
+	}
+	if !cs.resolved {
+		a.resolveCollective(cs)
+		delete(a.colls, key)
+		a.windowShrink()
+		for i := range cs.parts {
+			if cs.parts[i].rank != rs.rank {
+				a.enqueue(cs.parts[i].rank)
+			}
+		}
+		a.sinkCollective(cs)
+	}
+	// Find this rank's resolved contribution.
+	for i := range cs.parts {
+		p := &cs.parts[i]
+		if p.rank == rs.rank {
+			local := rs.startD
+			remote := p.outD
+			if a.model.Propagation == PropagationAnchored {
+				remote -= float64(p.dur)
+			}
+			if a.merge(rs, local, remote) == remote && remote > local {
+				return remote, p.outAttr, true, nil
+			}
+			return local, rs.startAttr, true, nil
+		}
+	}
+	return 0, Attribution{}, false, fmt.Errorf("core: rank %d lost its collective participation", rs.rank)
+}
+
+// resolveCollective computes each participant's outbound delay
+// contribution under the configured model. Participants are processed
+// in ascending world-rank order so sampling is deterministic.
+func (a *analyzer) resolveCollective(cs *collState) {
+	cs.resolved = true
+	// Sort participants by rank for deterministic sampling; arrival
+	// order depends on scheduling.
+	ordered := make([]*collParticipant, len(cs.parts))
+	for i := range cs.parts {
+		ordered[i] = &cs.parts[i]
+	}
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j-1].rank > ordered[j].rank; j-- {
+			ordered[j-1], ordered[j] = ordered[j], ordered[j-1]
+		}
+	}
+	if cs.kind == trace.KindScan {
+		// Scan's forward-only dependence has no Fig. 4 hub analog (the
+		// hub would let later ranks delay earlier ones); the explicit
+		// prefix chain is already compact (O(p)), so both modes use it.
+		a.resolveExplicit(cs, ordered)
+		return
+	}
+	switch a.model.Collectives {
+	case CollectiveApprox:
+		a.resolveApprox(cs, ordered)
+	case CollectiveExplicit:
+		a.resolveExplicit(cs, ordered)
+	}
+}
+
+// resolveApprox is the paper's Fig. 4 model: every participant's
+// inbound delay plus l_δ (ceil(log2 p) samples of noise+latency for
+// the symmetric collectives; a single sample for the rooted ones, the
+// paper's Reduce simplification) feeds a max that is propagated back
+// to all participants.
+func (a *analyzer) resolveApprox(cs *collState, ordered []*collParticipant) {
+	p := len(ordered)
+	rounds := ceilLog2(p)
+	if cs.kind.IsRooted() {
+		rounds = 1
+	}
+	lMax := 0.0
+	var winner *collParticipant
+	var winnerNoise, winnerMsg float64
+	for _, part := range ordered {
+		noise, msg := 0.0, 0.0
+		for j := 0; j < rounds; j++ {
+			noise += a.smp.osNoise(part.rank)
+			msg += a.smp.latency()
+			if a.model.CollectiveBytes {
+				msg += a.smp.perByte(roundBytes(cs.kind, cs.bytes, j, p))
+			}
+		}
+		if v := part.startD + noise + msg; v > lMax || winner == nil {
+			lMax = v
+			winner = part
+			winnerNoise, winnerMsg = noise, msg
+		}
+	}
+	cs.lMax = lMax
+	winAttr := winner.startAttr.addOwn(winnerNoise).addMsg(winnerMsg)
+	for _, part := range ordered {
+		part.outD = lMax
+		if part == winner {
+			part.outAttr = winAttr
+		} else {
+			part.outAttr = winAttr.asRemote()
+		}
+	}
+}
+
+// resolveExplicit builds the collective's actual communication
+// pattern in delay space: dissemination rounds for the symmetric
+// collectives, binomial trees for Bcast/Reduce, linear exchanges for
+// Gather/Scatter.
+func (a *analyzer) resolveExplicit(cs *collState, ordered []*collParticipant) {
+	p := len(ordered)
+	D := make([]float64, p)
+	A := make([]Attribution, p)
+	rootIdx := 0
+	for i, part := range ordered {
+		n := a.smp.osNoise(part.rank)
+		D[i] = part.startD + n
+		A[i] = part.startAttr.addOwn(n)
+		if cs.kind.IsRooted() && int32(part.rank) == cs.root {
+			rootIdx = i
+		}
+	}
+	// adopt folds a cross-member contribution into dst, reclassifying
+	// the source's noise as remote.
+	adopt := func(dst, src int, msg float64) {
+		if v := D[src] + msg; v > D[dst] {
+			D[dst] = v
+			A[dst] = A[src].asRemote().addMsg(msg)
+		}
+	}
+	bytesOf := func(round int) int64 { return roundBytes(cs.kind, cs.bytes, round, p) }
+	msgDelta := func(round int) float64 {
+		d := a.smp.latency()
+		if a.model.CollectiveBytes {
+			d += a.smp.perByte(bytesOf(round))
+		}
+		return d
+	}
+	switch cs.kind {
+	case trace.KindBcast:
+		for j := 0; (1 << uint(j)) < p; j++ {
+			step := 1 << uint(j)
+			for rel := 0; rel < step && rel+step < p; rel++ {
+				src := (rel + rootIdx) % p
+				dst := (rel + step + rootIdx) % p
+				adopt(dst, src, msgDelta(j))
+			}
+		}
+	case trace.KindReduce, trace.KindGather:
+		// Children push toward the root; non-roots keep their own
+		// delay (they complete after sending).
+		if cs.kind == trace.KindGather {
+			for i := range D {
+				if i == rootIdx {
+					continue
+				}
+				adopt(rootIdx, i, msgDelta(0))
+			}
+		} else {
+			for j := 0; (1 << uint(j)) < p; j++ {
+				step := 1 << uint(j)
+				for rel := step; rel < p; rel += step << 1 {
+					src := (rel + rootIdx) % p
+					dst := (rel - step + rootIdx) % p
+					adopt(dst, src, msgDelta(j))
+				}
+			}
+		}
+	case trace.KindScatter:
+		for i := range D {
+			if i == rootIdx {
+				continue
+			}
+			adopt(i, rootIdx, msgDelta(0))
+		}
+	case trace.KindScan:
+		// Prefix chain: member i adopts member i−1's delay — later
+		// ranks inherit earlier ranks' perturbations, never the
+		// reverse.
+		for i := 1; i < p; i++ {
+			adopt(i, i-1, msgDelta(0))
+		}
+	default: // dissemination for Barrier/Allreduce/Allgather/Alltoall/CommSplit
+		rounds := ceilLog2(p)
+		next := make([]float64, p)
+		nextA := make([]Attribution, p)
+		for j := 0; j < rounds; j++ {
+			step := (1 << uint(j)) % p
+			for i := 0; i < p; i++ {
+				src := (i - step + p) % p
+				msg := msgDelta(j)
+				if v := D[src] + msg; v > D[i] {
+					next[i] = v
+					nextA[i] = A[src].asRemote().addMsg(msg)
+				} else {
+					next[i] = D[i]
+					nextA[i] = A[i]
+				}
+			}
+			copy(D, next)
+			copy(A, nextA)
+		}
+	}
+	for i, part := range ordered {
+		part.outD = D[i]
+		part.outAttr = A[i]
+		if D[i] > cs.lMax {
+			cs.lMax = D[i]
+		}
+	}
+}
+
+// roundBytes is the payload attributed to one round of a collective.
+func roundBytes(kind trace.Kind, bytes int64, round, p int) int64 {
+	switch kind {
+	case trace.KindBarrier, trace.KindCommSplit:
+		return 0
+	case trace.KindAllgather:
+		return bytes << uint(round)
+	case trace.KindAlltoall:
+		r := ceilLog2(p)
+		return bytes * int64(p) / int64(r)
+	default:
+		return bytes
+	}
+}
+
+// ceilLog2 returns ceil(log2(p)), minimum 1.
+func ceilLog2(p int) int {
+	r := 0
+	for (1 << uint(r)) < p {
+		r++
+	}
+	if r == 0 {
+		r = 1
+	}
+	return r
+}
+
+// sinkCollective emits the paper's Fig. 4 hub structure: an l_δ edge
+// from every participant's start to the hub's end node, and an
+// l_δmax edge from the hub's end back to every other participant's
+// end.
+func (a *analyzer) sinkCollective(cs *collState) {
+	sink := a.opts.Graph
+	if sink == nil {
+		return
+	}
+	hub := &cs.parts[0]
+	for i := range cs.parts {
+		if cs.parts[i].rank < hub.rank {
+			hub = &cs.parts[i]
+		}
+	}
+	for i := range cs.parts {
+		p := &cs.parts[i]
+		sink.AddEdge(p.startRef, hub.endRef, EdgeCollective, 0, "l_delta")
+		if p != hub {
+			sink.AddEdge(hub.endRef, p.endRef, EdgeCollective, 0, "l_delta_max")
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mpgraph/internal/dist"
+	"mpgraph/internal/trace"
+)
+
+// collSet builds a p-rank trace whose only interaction is one
+// collective of the given kind, with per-rank staggered arrival.
+func collSet(t *testing.T, p int, kind trace.Kind, bytes int64, root int32) *trace.Set {
+	t.Helper()
+	perRank := make([][]trace.Record, p)
+	for r := 0; r < p; r++ {
+		coll := rec(kind, 100+int64(r)*10, 500)
+		coll.Seq, coll.CommSize, coll.Bytes = 1, int32(p), bytes
+		if kind.IsRooted() {
+			coll.Root = root
+		}
+		perRank[r] = []trace.Record{
+			rec(trace.KindInit, 0, 10),
+			coll,
+			rec(trace.KindFinalize, 600, 600),
+		}
+	}
+	return mkset(t, perRank...)
+}
+
+// TestAllReduceApproxMatchesClosedForm pins the Fig. 4 model against
+// its closed form with constant deltas.
+func TestAllReduceApproxMatchesClosedForm(t *testing.T) {
+	const (
+		p = 8
+		a = 5.0
+		l = 30.0
+	)
+	model := &Model{
+		OSNoise:    dist.Constant{C: a},
+		MsgLatency: dist.Constant{C: l},
+	}
+	res, err := Analyze(collSet(t, p, trace.KindAllreduce, 8, trace.NoRank), model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every rank arrives with inbound delay 2a (init internal + gap).
+	// l_delta per rank = log2(8)=3 rounds of (a + l).
+	inbound := make([]float64, p)
+	lDelta := make([]float64, p)
+	for i := range inbound {
+		inbound[i] = 2 * a
+		lDelta[i] = 3 * (a + l)
+	}
+	out := CollectiveApproxClosed(inbound, lDelta)
+	for r := 0; r < p; r++ {
+		// Tail: gap (+a) + finalize internal (+a).
+		wantDelay(t, "allreduce rank", res.Ranks[r].FinalDelay, out[r]+2*a)
+	}
+}
+
+// TestCollectiveSlowestDominates: a single straggler's extra delay
+// reaches every participant (the paper's motivating observation for
+// collectives).
+func TestCollectiveSlowestDominates(t *testing.T) {
+	const p = 6
+	perRank := make([][]trace.Record, p)
+	for r := 0; r < p; r++ {
+		coll := rec(trace.KindBarrier, 100, 500)
+		coll.Seq, coll.CommSize = 1, int32(p)
+		recs := []trace.Record{rec(trace.KindInit, 0, 10), coll,
+			rec(trace.KindFinalize, 600, 600)}
+		perRank[r] = recs
+	}
+	// Rank 3 has a big compute gap before the barrier -> its *injected*
+	// noise is amplified by the quantum rule.
+	perRank[3][1].Begin = 400 // longer gap: more quanta
+	model := &Model{OSNoise: dist.Constant{C: 10}, NoiseQuantum: 10}
+	res, err := Analyze(mkset(t, perRank...), model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All ranks end with identical delays (the max propagated).
+	for r := 1; r < p; r++ {
+		if math.Abs(res.Ranks[r].FinalDelay-res.Ranks[0].FinalDelay) > 1e-9 {
+			t.Fatalf("rank %d delay %g != rank 0 %g", r, res.Ranks[r].FinalDelay, res.Ranks[0].FinalDelay)
+		}
+	}
+	// And the common delay reflects the straggler's larger injection.
+	if res.Ranks[0].FinalDelay < 300 {
+		t.Fatalf("straggler injection did not propagate: %g", res.Ranks[0].FinalDelay)
+	}
+}
+
+// TestAllReduceApproxVsExplicit: with constant deltas the explicit
+// butterfly accumulates latency across rounds but counts noise once per
+// hop-chain, so it is bounded above by the approx model's pessimistic
+// per-rank serial sum.
+func TestAllReduceApproxVsExplicit(t *testing.T) {
+	mk := func(mode CollectiveMode) float64 {
+		model := &Model{
+			OSNoise:     dist.Constant{C: 20},
+			MsgLatency:  dist.Constant{C: 100},
+			Collectives: mode,
+		}
+		res, err := Analyze(collSet(t, 16, trace.KindAllreduce, 8, trace.NoRank), model, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MaxFinalDelay
+	}
+	approx := mk(CollectiveApprox)
+	explicit := mk(CollectiveExplicit)
+	if explicit > approx {
+		t.Fatalf("explicit (%g) exceeded approx (%g) under constant deltas", explicit, approx)
+	}
+	if explicit <= 0 {
+		t.Fatal("explicit model injected nothing")
+	}
+}
+
+func TestRootedCollectivesResolve(t *testing.T) {
+	for _, kind := range []trace.Kind{trace.KindBcast, trace.KindReduce,
+		trace.KindGather, trace.KindScatter} {
+		for _, mode := range []CollectiveMode{CollectiveApprox, CollectiveExplicit} {
+			model := &Model{
+				OSNoise:     dist.Constant{C: 5},
+				MsgLatency:  dist.Constant{C: 50},
+				Collectives: mode,
+			}
+			res, err := Analyze(collSet(t, 5, kind, 64, 2), model, Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kind, mode, err)
+			}
+			if res.MaxFinalDelay <= 0 {
+				t.Fatalf("%s/%s: no delay propagated", kind, mode)
+			}
+		}
+	}
+}
+
+func TestExplicitReduceLeavesNonRootsEarly(t *testing.T) {
+	// In the explicit model non-root ranks of a Reduce do not wait for
+	// the root; in the approx model (paper Fig. 4 simplification) the
+	// max returns to everyone. Give rank 0 (the root) a private large
+	// delay via a marker region... simplest: stagger arrivals so rank 4
+	// arrives with max inbound delay, then compare leaf delays.
+	const p = 4
+	perRank := make([][]trace.Record, p)
+	for r := 0; r < p; r++ {
+		coll := rec(trace.KindReduce, 100, 500)
+		coll.Seq, coll.CommSize, coll.Root = 1, int32(p), 0
+		perRank[r] = []trace.Record{rec(trace.KindInit, 0, 10), coll,
+			rec(trace.KindFinalize, 600, 600)}
+	}
+	// Rank 2 gets a long gap: with quantized noise it arrives very
+	// delayed.
+	perRank[2][1].Begin = 400
+	model := &Model{
+		OSNoise:      dist.Constant{C: 10},
+		NoiseQuantum: 10,
+		Collectives:  CollectiveExplicit,
+	}
+	res, err := Analyze(mkset(t, perRank...), model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root (0) must see rank 2's delay; rank 1, a leaf that only sends,
+	// must not inherit it in the explicit model.
+	if res.Ranks[0].FinalDelay <= res.Ranks[1].FinalDelay {
+		t.Fatalf("explicit reduce: root %g should exceed leaf %g",
+			res.Ranks[0].FinalDelay, res.Ranks[1].FinalDelay)
+	}
+
+	model.Collectives = CollectiveApprox
+	res2, err := Analyze(mkset(t, perRank...), model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Approx mode propagates the max back to everyone (paper's return
+	// edges), so the leaf is as delayed as the root.
+	if math.Abs(res2.Ranks[0].FinalDelay-res2.Ranks[1].FinalDelay) > 1e-9 {
+		t.Fatalf("approx reduce: root %g != leaf %g",
+			res2.Ranks[0].FinalDelay, res2.Ranks[1].FinalDelay)
+	}
+}
+
+func TestCollectiveBytesTerm(t *testing.T) {
+	base := &Model{MsgLatency: dist.Constant{C: 10}}
+	with := &Model{MsgLatency: dist.Constant{C: 10},
+		PerByte: dist.Constant{C: 1}, CollectiveBytes: true}
+	r1, err := Analyze(collSet(t, 4, trace.KindAllreduce, 1000, trace.NoRank), base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Analyze(collSet(t, 4, trace.KindAllreduce, 1000, trace.NoRank), with, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.MaxFinalDelay <= r1.MaxFinalDelay {
+		t.Fatalf("bandwidth term had no effect: %g vs %g", r2.MaxFinalDelay, r1.MaxFinalDelay)
+	}
+}
+
+func TestCollectiveMismatchDetected(t *testing.T) {
+	perRank := make([][]trace.Record, 2)
+	b := rec(trace.KindBarrier, 100, 200)
+	b.Seq, b.CommSize = 1, 2
+	a := rec(trace.KindAllreduce, 100, 200)
+	a.Seq, a.CommSize, a.Bytes = 1, 2, 8
+	perRank[0] = []trace.Record{rec(trace.KindInit, 0, 10), b}
+	perRank[1] = []trace.Record{rec(trace.KindInit, 0, 10), a}
+	_, err := Analyze(mkset(t, perRank...), &Model{}, Options{})
+	if err == nil {
+		t.Fatal("mismatched collectives accepted")
+	}
+}
+
+func TestSingletonCollective(t *testing.T) {
+	// A communicator of size 1: the collective must resolve trivially.
+	coll := rec(trace.KindAllreduce, 100, 200)
+	coll.Seq, coll.CommSize, coll.Bytes = 1, 1, 8
+	set := mkset(t, []trace.Record{rec(trace.KindInit, 0, 10), coll,
+		rec(trace.KindFinalize, 300, 300)})
+	res, err := Analyze(set, &Model{MsgLatency: dist.Constant{C: 10}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != 3 {
+		t.Fatalf("events = %d", res.Events)
+	}
+}
+
+func TestSubCommunicatorCollectivesMatchByCommID(t *testing.T) {
+	// Two disjoint pairs each run their own barrier on different comm
+	// ids with the same seq; matching must scope by comm.
+	mkRank := func(r int, comm int32) []trace.Record {
+		b := rec(trace.KindBarrier, 100, 200)
+		b.Seq, b.CommSize, b.Comm = 1, 2, comm
+		return []trace.Record{rec(trace.KindInit, 0, 10), b,
+			rec(trace.KindFinalize, 300, 300)}
+	}
+	set := mkset(t, mkRank(0, 1), mkRank(1, 1), mkRank(2, 2), mkRank(3, 2))
+	res, err := Analyze(set, &Model{MsgLatency: dist.Constant{C: 10}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != 12 {
+		t.Fatalf("events = %d", res.Events)
+	}
+}
+
+func TestScanForwardOnlyPropagation(t *testing.T) {
+	// In the graph model, noise injected on rank k's inbound path must
+	// delay ranks >= k through the scan but never ranks < k.
+	const p = 5
+	perRank := make([][]trace.Record, p)
+	for r := 0; r < p; r++ {
+		c := rec(trace.KindScan, 100, 500)
+		c.Seq, c.CommSize, c.Bytes = 1, int32(p), 8
+		perRank[r] = []trace.Record{rec(trace.KindInit, 0, 10), c,
+			rec(trace.KindFinalize, 600, 600)}
+	}
+	// Rank 2 alone gets a big gap so quantized noise hits it hard.
+	perRank[2][1].Begin = 400
+	model := &Model{OSNoise: dist.Constant{C: 10}, NoiseQuantum: 10}
+	for _, mode := range []CollectiveMode{CollectiveApprox, CollectiveExplicit} {
+		model.Collectives = mode
+		res, err := Analyze(mkset(t, perRank...), model, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ranks 0 and 1 see only their own modest noise; ranks 2..4 see
+		// rank 2's large injection.
+		if res.Ranks[1].FinalDelay >= res.Ranks[2].FinalDelay {
+			t.Fatalf("%s: rank 1 delay %g >= rank 2 delay %g (backward propagation)",
+				mode, res.Ranks[1].FinalDelay, res.Ranks[2].FinalDelay)
+		}
+		for r := 3; r < p; r++ {
+			if res.Ranks[r].FinalDelay < res.Ranks[2].FinalDelay {
+				t.Fatalf("%s: rank %d did not inherit the straggler's delay", mode, r)
+			}
+		}
+	}
+}
+
+func TestAnchoredCollectiveAbsorbsSmallDeltas(t *testing.T) {
+	// Anchored mode: a collective whose traced duration (400 cycles)
+	// exceeds the modeled l_delta absorbs it entirely.
+	model := &Model{
+		MsgLatency:  dist.Constant{C: 5},
+		Propagation: PropagationAnchored,
+	}
+	res, err := Analyze(collSet(t, 4, trace.KindAllreduce, 8, trace.NoRank), model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxFinalDelay != 0 {
+		t.Fatalf("anchored collective leaked delay %g", res.MaxFinalDelay)
+	}
+	// Large deltas exceed the duration and emerge, reduced by it.
+	model.MsgLatency = dist.Constant{C: 1000}
+	res2, err := Analyze(collSet(t, 4, trace.KindAllreduce, 8, trace.NoRank), model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MaxFinalDelay <= 0 {
+		t.Fatal("anchored collective absorbed a delta larger than its duration")
+	}
+	add, err := Analyze(collSet(t, 4, trace.KindAllreduce, 8, trace.NoRank),
+		&Model{MsgLatency: dist.Constant{C: 1000}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MaxFinalDelay >= add.MaxFinalDelay {
+		t.Fatalf("anchored (%g) should be below additive (%g)",
+			res2.MaxFinalDelay, add.MaxFinalDelay)
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpgraph/internal/trace"
+)
+
+// Graph is a materialized message-passing graph, built by running the
+// analyzer with a capturing sink. It exists for visualization (the
+// paper's Fig. 5 Graphviz rendering) and for structural tests; the
+// analyzer itself never materializes the graph.
+type Graph struct {
+	nodes map[NodeRef]GraphNode
+	edges []GraphEdge
+}
+
+// GraphNode is one subevent.
+type GraphNode struct {
+	Ref NodeRef
+	// Time is the traced local-clock time of the subevent.
+	Time int64
+	// Kind is the owning record's kind.
+	Kind trace.Kind
+}
+
+// GraphEdge is one edge with its traced weight and label.
+type GraphEdge struct {
+	From, To NodeRef
+	Kind     EdgeKind
+	Weight   int64
+	Label    string
+}
+
+// AddNode implements GraphSink.
+func (g *Graph) AddNode(ref NodeRef, localTime int64, rec trace.Record) {
+	if g.nodes == nil {
+		g.nodes = map[NodeRef]GraphNode{}
+	}
+	g.nodes[ref] = GraphNode{Ref: ref, Time: localTime, Kind: rec.Kind}
+}
+
+// AddEdge implements GraphSink.
+func (g *Graph) AddEdge(from, to NodeRef, kind EdgeKind, weight int64, label string) {
+	g.edges = append(g.edges, GraphEdge{From: from, To: to, Kind: kind, Weight: weight, Label: label})
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Node looks up a subevent node.
+func (g *Graph) Node(ref NodeRef) (GraphNode, bool) {
+	n, ok := g.nodes[ref]
+	return n, ok
+}
+
+// Edges returns the edges in insertion order. The returned slice is
+// owned by the graph.
+func (g *Graph) Edges() []GraphEdge { return g.edges }
+
+// EdgesByKind counts edges of each kind.
+func (g *Graph) EdgesByKind() map[EdgeKind]int {
+	out := map[EdgeKind]int{}
+	for _, e := range g.edges {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// BuildGraph constructs the materialized message-passing graph of a
+// trace set without applying any perturbation.
+func BuildGraph(set *trace.Set) (*Graph, error) {
+	g := &Graph{}
+	if _, err := Analyze(set, &Model{}, Options{Graph: g}); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// DOT renders the graph in Graphviz format (the paper's Fig. 5):
+// one cluster per rank with its straight-line chain of subevents,
+// message edges dashed, collective edges dotted.
+func (g *Graph) DOT(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph mpg {\n")
+	fmt.Fprintf(&b, "  label=%q;\n", title)
+	fmt.Fprintf(&b, "  rankdir=LR;\n  node [shape=box, fontsize=9];\n")
+
+	// Group nodes by rank, ordered.
+	byRank := map[int][]GraphNode{}
+	for _, n := range g.nodes {
+		byRank[n.Ref.Rank] = append(byRank[n.Ref.Rank], n)
+	}
+	ranks := make([]int, 0, len(byRank))
+	for r := range byRank {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		ns := byRank[r]
+		sort.Slice(ns, func(i, j int) bool {
+			if ns[i].Ref.Event != ns[j].Ref.Event {
+				return ns[i].Ref.Event < ns[j].Ref.Event
+			}
+			return !ns[i].Ref.End && ns[j].Ref.End
+		})
+		fmt.Fprintf(&b, "  subgraph cluster_rank%d {\n    label=\"rank %d\";\n", r, r)
+		for _, n := range ns {
+			fmt.Fprintf(&b, "    %q [label=\"%s %s\\n@%d\"];\n",
+				n.Ref.String(), n.Kind, side(n.Ref), n.Time)
+		}
+		fmt.Fprintf(&b, "  }\n")
+	}
+
+	edges := append([]GraphEdge(nil), g.edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		a, c := edges[i], edges[j]
+		if a.From != c.From {
+			return lessRef(a.From, c.From)
+		}
+		if a.To != c.To {
+			return lessRef(a.To, c.To)
+		}
+		return a.Label < c.Label
+	})
+	for _, e := range edges {
+		style := "solid"
+		extra := ""
+		switch e.Kind {
+		case EdgeMessage:
+			style = "dashed"
+			extra = ", color=red"
+		case EdgeCollective:
+			style = "dotted"
+			extra = ", color=blue"
+		}
+		label := e.Label
+		if e.Kind == EdgeLocal {
+			label = fmt.Sprintf("%s w=%d", e.Label, e.Weight)
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q, style=%s%s];\n",
+			e.From.String(), e.To.String(), label, style, extra)
+	}
+	fmt.Fprintf(&b, "}\n")
+	return b.String()
+}
+
+func side(r NodeRef) string {
+	if r.End {
+		return "end"
+	}
+	return "start"
+}
+
+func lessRef(a, b NodeRef) bool {
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
+	}
+	if a.Event != b.Event {
+		return a.Event < b.Event
+	}
+	return !a.End && b.End
+}

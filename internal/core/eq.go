@@ -1,0 +1,81 @@
+package core
+
+// Closed forms of the paper's equations, used by tests and benches to
+// pin the propagation engine against hand-derivable answers. All
+// functions work in delay space: inputs are the inbound delays at the
+// relevant start subevents plus the sampled deltas; outputs are the
+// end-subevent delays.
+
+func fmax(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Eq1Additive is the blocking send/receive pair (Fig. 2) under the
+// additive model:
+//
+//	cData = dSS + δλ1 + δt
+//	cRecv = max(cData, dRS)
+//	dRE   = max(dRS + δos2, cRecv)
+//	dSE   = max(dSS + δos1, cRecv + δλ2)
+func Eq1Additive(dSS, dRS, dOS1, dOS2, dLat1, dPerByte, dLat2 float64) (dSE, dRE float64) {
+	cData := dSS + dLat1 + dPerByte
+	cRecv := fmax(cData, dRS)
+	dRE = fmax(dRS+dOS2, cRecv)
+	dSE = fmax(dSS+dOS1, cRecv+dLat2)
+	return dSE, dRE
+}
+
+// Eq1Anchored is Eq. 1 as printed, in delay space, for a pair whose
+// inbound delays are dSS and dRS and whose traced event durations are
+// wS and wR:
+//
+//	t'_se = max(t_se, t'_ss + δos1, cRecv' + δos2 + δλ2)
+//	t'_re = max(t_re, t'_rs + δos2 + δλ1 + δt, cData' + δos2)
+//
+// The t_re floor on the receive line is our addition (the printed
+// equation would otherwise let a receive finish before its traced end
+// even with zero inbound delay; see DESIGN.md).
+func Eq1Anchored(dSS, dRS, dOS1, dOS2, dLat1, dPerByte, dLat2 float64, wS, wR int64) (dSE, dRE float64) {
+	cData := dSS + dLat1 + dPerByte
+	cRecv := fmax(cData, dRS)
+	dRE = fmax(dRS, fmax(dRS+dOS2+dLat1+dPerByte-float64(wR), cData+dOS2-float64(wR)))
+	dSE = fmax(dSS, fmax(dSS+dOS1-float64(wS), cRecv+dOS2+dLat2-float64(wS)))
+	return dSE, dRE
+}
+
+// Eq2Additive is the nonblocking pair with waits (Fig. 3): the Isend
+// and Irecv end subevents keep their start delays (immediate return);
+// the delays land on the wait operations.
+//
+//	cData = dIsendStart + δλ1 + δt
+//	cRecv = max(cData, dIrecvStart)
+//	dWaitRecvEnd = max(dWaitRecvStart + δos2, cRecv)
+//	dWaitSendEnd = max(dWaitSendStart + δos1, cRecv + δλ2)
+func Eq2Additive(dIsendStart, dIrecvStart, dWaitSendStart, dWaitRecvStart,
+	dOS1, dOS2, dLat1, dPerByte, dLat2 float64) (dWaitSendEnd, dWaitRecvEnd float64) {
+	cData := dIsendStart + dLat1 + dPerByte
+	cRecv := fmax(cData, dIrecvStart)
+	dWaitRecvEnd = fmax(dWaitRecvStart+dOS2, cRecv)
+	dWaitSendEnd = fmax(dWaitSendStart+dOS1, cRecv+dLat2)
+	return dWaitSendEnd, dWaitRecvEnd
+}
+
+// CollectiveApproxClosed is the Fig. 4 model's closed form: given each
+// participant's inbound delay and its sampled l_δ, every participant
+// leaves with max(own inbound, max_i(inbound_i + l_δ_i)).
+func CollectiveApproxClosed(inbound, lDelta []float64) []float64 {
+	m := 0.0
+	for i := range inbound {
+		if v := inbound[i] + lDelta[i]; v > m {
+			m = v
+		}
+	}
+	out := make([]float64, len(inbound))
+	for i := range inbound {
+		out[i] = fmax(inbound[i], m)
+	}
+	return out
+}

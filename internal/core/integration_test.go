@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mpgraph/internal/dist"
+	"mpgraph/internal/machine"
+	"mpgraph/internal/mpi"
+	"mpgraph/internal/trace"
+)
+
+// traceWorkload executes a program on the simulated runtime and
+// returns its trace set.
+func traceWorkload(t *testing.T, mcfg machine.Config, prog mpi.Program) *trace.Set {
+	t.Helper()
+	res, err := mpi.Run(mpi.Config{Machine: mcfg}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := res.TraceSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// ring is a token ring: each rank passes a payload around the ring
+// for the given number of traversals.
+func ring(traversals int, bytes, computeCycles int64) mpi.Program {
+	return func(r *mpi.Rank) error {
+		next := (r.Rank() + 1) % r.Size()
+		prev := (r.Rank() + r.Size() - 1) % r.Size()
+		for k := 0; k < traversals; k++ {
+			r.Compute(computeCycles)
+			if r.Rank() == 0 {
+				r.Send(next, 0, bytes)
+				r.Recv(prev, 0)
+			} else {
+				r.Recv(prev, 0)
+				r.Send(next, 0, bytes)
+			}
+		}
+		return nil
+	}
+}
+
+func TestEndToEndRingZeroModel(t *testing.T) {
+	set := traceWorkload(t, machine.Config{NRanks: 8, Seed: 1}, ring(4, 512, 1000))
+	res, err := Analyze(set, &Model{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, rr := range res.Ranks {
+		if rr.FinalDelay != 0 {
+			t.Fatalf("rank %d delay %g under zero model", rank, rr.FinalDelay)
+		}
+	}
+	if res.WindowHighWater > 16 {
+		t.Fatalf("ring window high water %d", res.WindowHighWater)
+	}
+}
+
+func TestEndToEndRingWithNoisyMachineTraces(t *testing.T) {
+	// Traces from a noisy machine (with drifting, offset clocks) must
+	// still analyze cleanly: matching uses order only (§4.1).
+	mcfg := machine.Config{
+		NRanks:        6,
+		Seed:          3,
+		Noise:         dist.Exponential{MeanValue: 80},
+		Latency:       dist.Uniform{Low: 500, High: 2000},
+		ClockOffset:   dist.Uniform{Low: 0, High: 1e12},
+		ClockDriftPPM: dist.Uniform{Low: -300, High: 300},
+	}
+	set := traceWorkload(t, mcfg, ring(5, 1024, 2000))
+	res, err := Analyze(set, &Model{MsgLatency: dist.Constant{C: 100}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxFinalDelay <= 0 {
+		t.Fatal("no delay propagated")
+	}
+}
+
+func TestClockOffsetsDoNotChangeAnalysis(t *testing.T) {
+	// Same workload, same machine timing, different clock offsets:
+	// identical intervals => identical analysis (the paper's §4.1
+	// argument that only execution order matters).
+	base := machine.Config{NRanks: 4, Seed: 5}
+	offset := base
+	offset.ClockOffset = dist.Uniform{Low: 0, High: 1e12}
+	model := &Model{Seed: 1, OSNoise: dist.Exponential{MeanValue: 40},
+		MsgLatency: dist.Exponential{MeanValue: 300}}
+
+	resA, err := Analyze(traceWorkload(t, base, ring(3, 256, 500)), model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Analyze(traceWorkload(t, offset, ring(3, 256, 500)), model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := range resA.Ranks {
+		if resA.Ranks[rank].FinalDelay != resB.Ranks[rank].FinalDelay {
+			t.Fatalf("rank %d: offset clocks changed the analysis: %g vs %g",
+				rank, resA.Ranks[rank].FinalDelay, resB.Ranks[rank].FinalDelay)
+		}
+	}
+}
+
+// TestTokenRingLinearGrowth is the paper's Section 6.1 experiment in
+// miniature: injecting a constant c cycles of noise per message makes
+// each rank's runtime grow by ~ traversals × c × p.
+func TestTokenRingLinearGrowth(t *testing.T) {
+	const (
+		p          = 16
+		traversals = 5
+	)
+	set := func() *trace.Set {
+		return traceWorkload(t, machine.Config{NRanks: p, Seed: 7}, ring(traversals, 64, 1000))
+	}
+	var xs, ys []float64
+	for c := 0.0; c <= 700; c += 100 {
+		res, err := Analyze(set(), &Model{MsgLatency: dist.Constant{C: c}}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs = append(xs, c)
+		ys = append(ys, res.MaxFinalDelay)
+	}
+	fit := dist.FitLinear(xs, ys)
+	if fit.R2 < 0.999 {
+		t.Fatalf("growth not linear: R2 = %g", fit.R2)
+	}
+	// Every hop of the ring carries the token through a message edge;
+	// with the ack path each hop contributes ~2c (data + ack latency)
+	// to the critical chain. The paper's statement (traversals × c × p)
+	// corresponds to the one-way chain; our slope must be within a
+	// small factor of traversals × p.
+	hops := float64(traversals * p)
+	if fit.Slope < hops || fit.Slope > 2.5*hops {
+		t.Fatalf("slope = %g, want within [%g, %g]", fit.Slope, hops, 2.5*hops)
+	}
+}
+
+func TestQuickZeroModelAlwaysZero(t *testing.T) {
+	// Property: for arbitrary random workload shapes, a zero model
+	// yields exactly zero delays everywhere.
+	f := func(seed uint64) bool {
+		r := dist.NewRNG(seed)
+		n := 2 + r.Intn(5)
+		iters := 1 + r.Intn(4)
+		doColl := r.Intn(2) == 0
+		bytes := int64(1 + r.Intn(4096))
+		mcfg := machine.Config{NRanks: n, Seed: seed,
+			Noise: dist.Exponential{MeanValue: 50}}
+		res, err := mpi.Run(mpi.Config{Machine: mcfg}, func(rk *mpi.Rank) error {
+			next := (rk.Rank() + 1) % rk.Size()
+			prev := (rk.Rank() + rk.Size() - 1) % rk.Size()
+			for i := 0; i < iters; i++ {
+				rk.Compute(int64(100 * (rk.Rank() + 1)))
+				rk.Sendrecv(next, 0, bytes, prev, 0)
+				if doColl {
+					rk.Allreduce(8)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		set, err := res.TraceSet()
+		if err != nil {
+			return false
+		}
+		out, err := Analyze(set, &Model{}, Options{})
+		if err != nil {
+			return false
+		}
+		for _, rr := range out.Ranks {
+			if rr.FinalDelay != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMonotoneInConstantNoise(t *testing.T) {
+	// Property: increasing a constant perturbation never decreases any
+	// rank's final delay.
+	set := func() *trace.Set {
+		return traceWorkload(t, machine.Config{NRanks: 4, Seed: 9}, ring(3, 128, 700))
+	}
+	prev := make([]float64, 4)
+	for c := 0.0; c <= 500; c += 50 {
+		res, err := Analyze(set(), &Model{OSNoise: dist.Constant{C: c},
+			MsgLatency: dist.Constant{C: c}}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rank, rr := range res.Ranks {
+			if rr.FinalDelay+1e-9 < prev[rank] {
+				t.Fatalf("c=%g rank %d: delay %g < previous %g", c, rank, rr.FinalDelay, prev[rank])
+			}
+			prev[rank] = rr.FinalDelay
+		}
+	}
+}
+
+func TestBurstSizeDoesNotChangeResults(t *testing.T) {
+	set := func() *trace.Set {
+		return traceWorkload(t, machine.Config{NRanks: 6, Seed: 11}, ring(4, 256, 900))
+	}
+	model := &Model{Seed: 2, OSNoise: dist.Constant{C: 25}, MsgLatency: dist.Constant{C: 75}}
+	ref, err := Analyze(set(), model, Options{Burst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, burst := range []int{2, 7, 64, 1000} {
+		res, err := Analyze(set(), model, Options{Burst: burst})
+		if err != nil {
+			t.Fatalf("burst %d: %v", burst, err)
+		}
+		for rank := range res.Ranks {
+			if math.Abs(res.Ranks[rank].FinalDelay-ref.Ranks[rank].FinalDelay) > 1e-9 {
+				t.Fatalf("burst %d rank %d: %g vs %g", burst, rank,
+					res.Ranks[rank].FinalDelay, ref.Ranks[rank].FinalDelay)
+			}
+		}
+	}
+}
+
+func TestEagerTracesAnalyzeCleanly(t *testing.T) {
+	mcfg := machine.Config{NRanks: 4, Seed: 13, EagerLimit: 1 << 16}
+	set := traceWorkload(t, mcfg, func(r *mpi.Rank) error {
+		// Unidirectional nonblocking burst with a late receiver: many
+		// transfers are in flight at once, so the analyzer's matching
+		// window must grow.
+		if r.Rank() == 0 {
+			var reqs []*mpi.Request
+			for i := 0; i < 10; i++ {
+				reqs = append(reqs, r.Isend(1, 0, 128))
+			}
+			r.Waitall(reqs...)
+		}
+		if r.Rank() == 1 {
+			r.Compute(100_000)
+			for i := 0; i < 10; i++ {
+				r.Recv(0, 0)
+			}
+		}
+		r.Barrier()
+		return nil
+	})
+	res, err := Analyze(set, &Model{MsgLatency: dist.Constant{C: 10}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WindowHighWater < 5 {
+		t.Fatalf("expected a deep window for the eager burst, got %d", res.WindowHighWater)
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"mpgraph/internal/dist"
+	"mpgraph/internal/machine"
+	"mpgraph/internal/mpi"
+	"mpgraph/internal/workloads"
+)
+
+// TestLargeTraceStreams drives a ~300k-event, 128-rank trace through
+// the analyzer and checks the §4.2/§6 scalability claims: the window
+// stays tiny relative to the trace and the whole analysis completes
+// in well under test-timeout territory.
+func TestLargeTraceStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large trace test skipped in -short mode")
+	}
+	prog, err := workloads.BuildByName("stencil1d",
+		workloads.Options{Iterations: 300, CollEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := mpi.Run(mpi.Config{Machine: machine.Config{NRanks: 128, Seed: 1}}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := run.TraceSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &Model{
+		Seed:       1,
+		OSNoise:    dist.Exponential{MeanValue: 50},
+		MsgLatency: dist.Exponential{MeanValue: 200},
+	}
+	res, err := Analyze(set, model, Options{Burst: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events < 300_000 {
+		t.Fatalf("expected >= 300k events, got %d", res.Events)
+	}
+	// The window must be a tiny fraction of the trace: bounded by
+	// in-flight operations, not by length.
+	if res.WindowHighWater > 2_000 {
+		t.Fatalf("window high water %d for %d events — streaming claim violated",
+			res.WindowHighWater, res.Events)
+	}
+	if res.MaxFinalDelay <= 0 {
+		t.Fatal("no delay propagated")
+	}
+	t.Logf("events=%d window=%d max-delay=%.0f", res.Events, res.WindowHighWater, res.MaxFinalDelay)
+}

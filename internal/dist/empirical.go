@@ -1,0 +1,196 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Empirical is a distribution built directly from observed samples, the
+// paper's second parameterization method (Section 5): "use the data
+// itself to build an empirical distribution". Sampling draws uniformly
+// from the sorted sample set with linear interpolation between adjacent
+// order statistics, i.e. it inverts the empirical CDF. By the law of
+// large numbers the empirical distribution converges to the true one as
+// the sample count grows; TestEmpiricalApproachesAnalytic exercises
+// exactly that property.
+type Empirical struct {
+	sorted []float64
+	mean   float64
+}
+
+// NewEmpirical builds an empirical distribution from the given samples.
+// The input slice is copied and may be reused by the caller. It panics
+// if no samples are provided or any sample is NaN.
+func NewEmpirical(samples []float64) *Empirical {
+	if len(samples) == 0 {
+		panic("dist: empirical distribution needs at least one sample")
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sum := 0.0
+	for _, v := range s {
+		if math.IsNaN(v) {
+			panic("dist: empirical sample is NaN")
+		}
+		sum += v
+	}
+	sort.Float64s(s)
+	return &Empirical{sorted: s, mean: sum / float64(len(s))}
+}
+
+// Sample implements Distribution by inverse transform sampling of the
+// piecewise-linear empirical CDF.
+func (e *Empirical) Sample(r *RNG) float64 {
+	return e.Quantile(r.Float64())
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) of the empirical
+// distribution, with linear interpolation between order statistics.
+func (e *Empirical) Quantile(q float64) float64 {
+	n := len(e.sorted)
+	if n == 1 {
+		return e.sorted[0]
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return e.sorted[n-1]
+	}
+	return e.sorted[lo]*(1-frac) + e.sorted[lo+1]*frac
+}
+
+// Mean implements Distribution, returning the sample mean.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// Min returns the smallest observed sample.
+func (e *Empirical) Min() float64 { return e.sorted[0] }
+
+// Max returns the largest observed sample.
+func (e *Empirical) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Len returns the number of underlying samples.
+func (e *Empirical) Len() int { return len(e.sorted) }
+
+// String implements Distribution.
+func (e *Empirical) String() string {
+	return fmt.Sprintf("empirical(n=%d,mean=%g)", len(e.sorted), e.mean)
+}
+
+// CDF returns the empirical cumulative probability at x: the fraction
+// of samples <= x.
+func (e *Empirical) CDF(x float64) float64 {
+	// sort.SearchFloat64s gives the count of samples < x when we search
+	// for x and adjust for equal values.
+	n := len(e.sorted)
+	i := sort.SearchFloat64s(e.sorted, x)
+	for i < n && e.sorted[i] <= x {
+		i++
+	}
+	return float64(i) / float64(n)
+}
+
+// Histogram summarizes samples into fixed-width bins, the form in which
+// microbenchmark output is reported and persisted. It is both a
+// summary statistic and (via Distribution) a sampleable object, so a
+// persisted histogram can parameterize later analysis runs without
+// keeping raw samples.
+type Histogram struct {
+	Low       float64  // left edge of the first bin
+	Width     float64  // bin width (> 0)
+	Counts    []uint64 // one count per bin
+	Total     uint64   // sum of Counts
+	Underflow uint64   // samples below Low
+	Overflow  uint64   // samples at or above Low + Width*len(Counts)
+}
+
+// NewHistogram creates an empty histogram with the given geometry.
+// It panics if width <= 0 or bins <= 0.
+func NewHistogram(low, width float64, bins int) *Histogram {
+	if width <= 0 || bins <= 0 {
+		panic("dist: histogram needs positive width and bin count")
+	}
+	return &Histogram{Low: low, Width: width, Counts: make([]uint64, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	if x < h.Low {
+		h.Underflow++
+		return
+	}
+	i := int((x - h.Low) / h.Width)
+	if i >= len(h.Counts) {
+		h.Overflow++
+		return
+	}
+	h.Counts[i]++
+	h.Total++
+}
+
+// AddAll records a batch of samples.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Low + h.Width*(float64(i)+0.5)
+}
+
+// Mean implements Distribution using bin centers; under/overflow are
+// excluded.
+func (h *Histogram) Mean() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i, c := range h.Counts {
+		sum += float64(c) * h.BinCenter(i)
+	}
+	return sum / float64(h.Total)
+}
+
+// Sample implements Distribution: a bin is chosen with probability
+// proportional to its count, then a point is drawn uniformly within the
+// bin. An empty histogram samples zero.
+func (h *Histogram) Sample(r *RNG) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	target := r.Uint64() % h.Total
+	var acc uint64
+	for i, c := range h.Counts {
+		acc += c
+		if target < acc {
+			return h.Low + h.Width*(float64(i)+r.Float64())
+		}
+	}
+	// Unreachable when Total == sum(Counts); defend anyway.
+	return h.BinCenter(len(h.Counts) - 1)
+}
+
+// String implements Distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("histogram(bins=%d,n=%d)", len(h.Counts), h.Total)
+}
+
+// NonEmptyBins returns the number of bins with at least one sample.
+func (h *Histogram) NonEmptyBins() int {
+	n := 0
+	for _, c := range h.Counts {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,235 @@
+package dist
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpiricalBasics(t *testing.T) {
+	e := NewEmpirical([]float64{3, 1, 2})
+	if e.Len() != 3 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	if e.Min() != 1 || e.Max() != 3 {
+		t.Fatalf("min/max = %g/%g", e.Min(), e.Max())
+	}
+	wantClose(t, "mean", e.Mean(), 2, 1e-12)
+}
+
+func TestEmpiricalPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty sample")
+		}
+	}()
+	NewEmpirical(nil)
+}
+
+func TestEmpiricalPanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on NaN sample")
+		}
+	}()
+	NewEmpirical([]float64{1, math.NaN()})
+}
+
+func TestEmpiricalQuantiles(t *testing.T) {
+	e := NewEmpirical([]float64{0, 10, 20, 30, 40})
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 0}, {0.25, 10}, {0.5, 20}, {0.75, 30}, {1, 40},
+		{-1, 0}, {2, 40}, {0.125, 5},
+	} {
+		if got := e.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestEmpiricalSingleSample(t *testing.T) {
+	e := NewEmpirical([]float64{7})
+	r := NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if v := e.Sample(r); v != 7 {
+			t.Fatalf("single-sample empirical returned %g", v)
+		}
+	}
+}
+
+func TestEmpiricalSamplesWithinRange(t *testing.T) {
+	e := NewEmpirical([]float64{5, 10, 15, 20})
+	r := NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		v := e.Sample(r)
+		if v < 5 || v > 20 {
+			t.Fatalf("sample %g outside data range [5,20]", v)
+		}
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	e := NewEmpirical([]float64{1, 2, 2, 3})
+	for _, tc := range []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {99, 1},
+	} {
+		if got := e.CDF(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("CDF(%g) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+}
+
+// TestEmpiricalApproachesAnalytic is Ablation B's core invariant: an
+// empirical distribution built from n samples of an analytic family
+// converges (in KS distance and in mean) to that family as n grows —
+// the law-of-large-numbers argument in Section 5 of the paper.
+func TestEmpiricalApproachesAnalytic(t *testing.T) {
+	truth := Exponential{MeanValue: 100}
+	prevKS := math.Inf(1)
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		r := NewRNG(uint64(n))
+		data := SampleN(truth, r, n)
+		emp := NewEmpirical(data)
+
+		// Resample from the empirical distribution and compare with a
+		// fresh draw from the truth.
+		resampled := SampleN(emp, NewRNG(1), 20000)
+		fresh := SampleN(truth, NewRNG(2), 20000)
+		ks := KSStatistic(resampled, fresh)
+		if n >= 10000 && ks > 0.03 {
+			t.Errorf("n=%d: KS distance %g too large", n, ks)
+		}
+		// The KS distance should broadly shrink with n (allow noise by
+		// only comparing the two extremes).
+		if n == 100 {
+			prevKS = ks
+		}
+		if n == 100000 && ks > prevKS {
+			t.Errorf("KS did not shrink: n=100 gave %g, n=100000 gave %g", prevKS, ks)
+		}
+		wantClose(t, "empirical mean", emp.Mean(), 100, 5/math.Sqrt(float64(n)))
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5) // bins [0,10) [10,20) ... [40,50)
+	h.AddAll([]float64{-1, 0, 5, 9.999, 10, 45, 50, 1000})
+	if h.Underflow != 1 {
+		t.Fatalf("underflow = %d, want 1", h.Underflow)
+	}
+	if h.Overflow != 2 {
+		t.Fatalf("overflow = %d, want 2 (50 and 1000)", h.Overflow)
+	}
+	if h.Counts[0] != 3 {
+		t.Fatalf("bin0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("bins = %v", h.Counts)
+	}
+	if h.Total != 5 {
+		t.Fatalf("total = %d, want 5", h.Total)
+	}
+	if h.NonEmptyBins() != 3 {
+		t.Fatalf("NonEmptyBins = %d, want 3", h.NonEmptyBins())
+	}
+}
+
+func TestHistogramPanicsOnBadGeometry(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 0, 5) },
+		func() { NewHistogram(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramSampleWithinBins(t *testing.T) {
+	h := NewHistogram(100, 50, 4)
+	h.AddAll([]float64{110, 120, 260, 260, 260})
+	r := NewRNG(3)
+	lowBin, highBin := 0, 0
+	for i := 0; i < 10000; i++ {
+		v := h.Sample(r)
+		switch {
+		case v >= 100 && v < 150:
+			lowBin++
+		case v >= 250 && v < 300:
+			highBin++
+		default:
+			t.Fatalf("sample %g fell in an empty bin", v)
+		}
+	}
+	frac := float64(highBin) / float64(lowBin+highBin)
+	wantClose(t, "bin weighting", frac, 0.6, 0.05)
+}
+
+func TestHistogramEmptySamplesZero(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	if v := h.Sample(NewRNG(4)); v != 0 {
+		t.Fatalf("empty histogram sampled %g", v)
+	}
+	if h.Mean() != 0 {
+		t.Fatalf("empty histogram mean %g", h.Mean())
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.AddAll([]float64{5, 5, 25}) // centers 5,5,25 -> mean ~11.67
+	wantClose(t, "histogram mean", h.Mean(), 35.0/3, 1e-9)
+}
+
+func TestQuickEmpiricalQuantileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		data := SampleN(Normal{Mu: 0, Sigma: 10}, r, 64)
+		e := NewEmpirical(data)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := e.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEmpiricalSampleInHull(t *testing.T) {
+	f := func(seed uint64, raw []float64) bool {
+		var data []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				data = append(data, v)
+			}
+		}
+		if len(data) == 0 {
+			return true
+		}
+		e := NewEmpirical(data)
+		sort.Float64s(data)
+		r := NewRNG(seed)
+		for i := 0; i < 20; i++ {
+			v := e.Sample(r)
+			if v < data[0] || v > data[len(data)-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryOrder(t *testing.T) {
+	ids := IDs()
+	want := []string{"fig2", "fig3", "fig4", "fig5", "sec6.1",
+		"ablA", "ablB", "ablC", "ablD", "ext-neg", "ext-straggler",
+		"ext-topo", "validation"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids[%d] = %q, want %q", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	if _, ok := Get("fig2"); !ok {
+		t.Fatal("fig2 missing")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Fatal("phantom experiment found")
+	}
+}
+
+// TestAllExperimentsPassQuick runs every experiment at quick scale and
+// requires each to reproduce its paper shape. This is the repository's
+// continuous reproduction check.
+func TestAllExperimentsPassQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(Config{Quick: true, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Table == nil || out.Table.NumRows() == 0 {
+				t.Fatal("experiment produced no table")
+			}
+			if !out.Pass {
+				t.Fatalf("shape check failed: %s", out.Verdict)
+			}
+			if out.Verdict == "" {
+				t.Fatal("no verdict")
+			}
+		})
+	}
+}
+
+func TestFig5ProducesDOT(t *testing.T) {
+	e, _ := Get("fig5")
+	out, err := e.Run(Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Extra, "digraph") {
+		t.Fatal("fig5 missing DOT artifact")
+	}
+}
+
+// TestSec61FullScale runs the paper-faithful 128-rank experiment once
+// (it takes well under a second).
+func TestSec61FullScale(t *testing.T) {
+	e, _ := Get("sec6.1")
+	out, err := e.Run(Config{Seed: 2006})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Pass {
+		t.Fatalf("full-scale §6.1 failed: %s", out.Verdict)
+	}
+	if !strings.Contains(out.Verdict, "1280") {
+		t.Fatalf("verdict should reference the paper's 1280 expectation: %s", out.Verdict)
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	e, _ := Get("fig4")
+	a, err := e.Run(Config{Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(Config{Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Verdict != b.Verdict {
+		t.Fatalf("nondeterministic experiment: %q vs %q", a.Verdict, b.Verdict)
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mpgraph/internal/core"
+	"mpgraph/internal/dist"
+	"mpgraph/internal/machine"
+	"mpgraph/internal/mpi"
+	"mpgraph/internal/report"
+	"mpgraph/internal/workloads"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "validation",
+		Title: "prediction accuracy: analyzer vs re-execution",
+		Run:   runValidation,
+	})
+}
+
+// runValidation closes the loop the paper leaves open: how accurate is
+// the graph-traversal prediction? For each workload we
+//
+//  1. trace it on a quiet machine,
+//  2. predict the makespan under added per-message latency Δ by
+//     analyzing that trace with a constant message delta, and
+//  3. actually re-execute the workload on a machine whose latency is
+//     raised by Δ,
+//
+// then compare predicted vs re-executed makespans. The substitution is
+// exact only for fully synchronous codes (the analyzer perturbs the
+// traced schedule; a real rerun may also change overlap), so the
+// accuracy band is the finding, not a failure.
+func runValidation(cfg Config) (*Outcome, error) {
+	out := &Outcome{ID: "validation", Title: "prediction accuracy"}
+	const latDelta = 3000
+	const noiseMean = 300
+	names := []string{"tokenring", "pipeline", "cg", "stencil1d", "bsp"}
+	n := cfg.pick(16, 6)
+	iters := cfg.pick(10, 4)
+
+	tbl := report.NewTable(
+		fmt.Sprintf("predicted vs re-executed makespan (%d ranks)", n),
+		"workload", "perturbation", "predicted", "re-executed", "error")
+	pass := true
+	for _, name := range names {
+		for _, leg := range []struct {
+			label  string
+			model  *core.Model
+			mutate func(*machine.Config)
+		}{
+			{
+				label: fmt.Sprintf("+%d cyc/message", latDelta),
+				model: &core.Model{MsgLatency: dist.Constant{C: latDelta}},
+				mutate: func(m *machine.Config) {
+					m.Latency = dist.Constant{C: 1000 + latDelta} // default is constant 1000
+				},
+			},
+			{
+				label: fmt.Sprintf("exp(%d) noise/op", noiseMean),
+				model: &core.Model{Seed: cfg.Seed, OSNoise: dist.Exponential{MeanValue: noiseMean}},
+				mutate: func(m *machine.Config) {
+					m.Noise = dist.Exponential{MeanValue: noiseMean}
+				},
+			},
+		} {
+			prog, err := workloads.BuildByName(name, workloads.Options{Iterations: iters})
+			if err != nil {
+				return nil, err
+			}
+			quietCfg := machine.Config{NRanks: n, Seed: cfg.Seed}
+			quietRun, err := mpi.Run(mpi.Config{Machine: quietCfg}, prog)
+			if err != nil {
+				return nil, err
+			}
+			set, err := quietRun.TraceSet()
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.Analyze(set, leg.model, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			predicted := float64(quietRun.Makespan) + res.MakespanDelay
+
+			noisyCfg := quietCfg
+			leg.mutate(&noisyCfg)
+			noisyRun, err := mpi.Run(mpi.Config{Machine: noisyCfg, DisableTracing: true}, prog)
+			if err != nil {
+				return nil, err
+			}
+			actual := float64(noisyRun.Makespan)
+			errPct := 100 * (predicted - actual) / actual
+			tbl.AddRow(name, leg.label, predicted, actual,
+				fmt.Sprintf("%+.2f%%", errPct))
+			if errPct < -20 || errPct > 20 {
+				pass = false
+			}
+		}
+	}
+	out.Table = tbl
+	out.Pass = pass
+	out.Verdict = "trace-driven prediction within ±20% of re-execution for both latency and noise what-ifs"
+	return out, nil
+}

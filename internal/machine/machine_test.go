@@ -1,0 +1,259 @@
+package machine
+
+import (
+	"testing"
+
+	"mpgraph/internal/dist"
+)
+
+func mustNew(t *testing.T, cfg Config) *Machine {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{NRanks: 0},
+		{NRanks: -2},
+		{NRanks: 1, BytesPerCycle: -1},
+		{NRanks: 1, SendOverhead: -1},
+		{NRanks: 1, RecvOverhead: -1},
+		{NRanks: 1, ComputeQuantum: -1},
+		{NRanks: 1, EagerLimit: -1},
+	}
+	for _, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	if _, err := New(Config{NRanks: 4}); err != nil {
+		t.Errorf("minimal config rejected: %v", err)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	m := mustNew(t, Config{NRanks: 2})
+	if m.OpNoise(0) != 0 {
+		t.Error("default noise should be zero")
+	}
+	if m.Latency() != 1000 {
+		t.Errorf("default latency = %d, want 1000", m.Latency())
+	}
+	if m.XferCycles(500) != 500 {
+		t.Errorf("default bandwidth should be 1 byte/cycle")
+	}
+	if m.SendOverhead() != 100 || m.RecvOverhead() != 100 {
+		t.Error("default overheads should be 100")
+	}
+	if m.LocalClock(0, 12345) != 12345 {
+		t.Error("default clocks should be exact")
+	}
+}
+
+func TestDeterminismAcrossInstances(t *testing.T) {
+	cfg := Config{
+		NRanks:  4,
+		Seed:    99,
+		Noise:   dist.Exponential{MeanValue: 50},
+		Latency: dist.Uniform{Low: 500, High: 1500},
+	}
+	a := mustNew(t, cfg)
+	b := mustNew(t, cfg)
+	for i := 0; i < 100; i++ {
+		r := i % 4
+		if x, y := a.OpNoise(r), b.OpNoise(r); x != y {
+			t.Fatalf("noise diverged at %d: %d != %d", i, x, y)
+		}
+		if x, y := a.Latency(), b.Latency(); x != y {
+			t.Fatalf("latency diverged at %d: %d != %d", i, x, y)
+		}
+	}
+}
+
+func TestPerRankNoiseStreamsIndependent(t *testing.T) {
+	m := mustNew(t, Config{NRanks: 2, Seed: 1, Noise: dist.Uniform{Low: 0, High: 1000}})
+	// Sampling rank 1's stream must not disturb rank 0's.
+	ref := mustNew(t, Config{NRanks: 2, Seed: 1, Noise: dist.Uniform{Low: 0, High: 1000}})
+	for i := 0; i < 50; i++ {
+		m.OpNoise(1)
+	}
+	for i := 0; i < 50; i++ {
+		if x, y := m.OpNoise(0), ref.OpNoise(0); x != y {
+			t.Fatalf("rank 0 stream perturbed by rank 1 sampling at %d", i)
+		}
+	}
+}
+
+func TestNoiseNeverNegative(t *testing.T) {
+	m := mustNew(t, Config{NRanks: 1, Seed: 2, Noise: dist.Normal{Mu: 0, Sigma: 100}})
+	for i := 0; i < 1000; i++ {
+		if n := m.OpNoise(0); n < 0 {
+			t.Fatalf("negative noise %d", n)
+		}
+	}
+}
+
+func TestComputeNoiseQuanta(t *testing.T) {
+	m := mustNew(t, Config{NRanks: 1, Seed: 3, Noise: dist.Constant{C: 7}, ComputeQuantum: 100})
+	if got := m.ComputeNoise(0, 0); got != 0 {
+		t.Fatalf("zero work accrued noise %d", got)
+	}
+	if got := m.ComputeNoise(0, 1); got != 7 {
+		t.Fatalf("1 cycle = 1 quantum: got %d, want 7", got)
+	}
+	if got := m.ComputeNoise(0, 100); got != 7 {
+		t.Fatalf("100 cycles = 1 quantum: got %d, want 7", got)
+	}
+	if got := m.ComputeNoise(0, 101); got != 14 {
+		t.Fatalf("101 cycles = 2 quanta: got %d, want 14", got)
+	}
+	if got := m.ComputeNoise(0, 1000); got != 70 {
+		t.Fatalf("1000 cycles = 10 quanta: got %d, want 70", got)
+	}
+}
+
+func TestComputeNoiseNoQuantum(t *testing.T) {
+	m := mustNew(t, Config{NRanks: 1, Seed: 4, Noise: dist.Constant{C: 5}})
+	if got := m.ComputeNoise(0, 1_000_000); got != 5 {
+		t.Fatalf("quantum-less compute noise = %d, want single sample 5", got)
+	}
+}
+
+func TestXferCycles(t *testing.T) {
+	m := mustNew(t, Config{NRanks: 1, BytesPerCycle: 4})
+	if got := m.XferCycles(4096); got != 1024 {
+		t.Fatalf("XferCycles(4096) = %d, want 1024", got)
+	}
+	if got := m.XferCycles(0); got != 0 {
+		t.Fatalf("XferCycles(0) = %d", got)
+	}
+	if got := m.XferCycles(-5); got != 0 {
+		t.Fatalf("XferCycles(-5) = %d", got)
+	}
+}
+
+func TestNICContentionSerializes(t *testing.T) {
+	m := mustNew(t, Config{NRanks: 2, NICContention: true})
+	// First injection at t=1000 for 500 cycles.
+	if start := m.InjectAt(0, 1000, 500); start != 1000 {
+		t.Fatalf("first injection start = %d", start)
+	}
+	// Second injection ready at 1100 must wait for the NIC until 1500.
+	if start := m.InjectAt(0, 1100, 200); start != 1500 {
+		t.Fatalf("second injection start = %d, want 1500", start)
+	}
+	// Third, ready after the NIC is free, starts on time.
+	if start := m.InjectAt(0, 2500, 100); start != 2500 {
+		t.Fatalf("third injection start = %d, want 2500", start)
+	}
+	// Other ranks are unaffected.
+	if start := m.InjectAt(1, 0, 100); start != 0 {
+		t.Fatalf("rank 1 injection start = %d, want 0", start)
+	}
+}
+
+func TestNICContentionDisabled(t *testing.T) {
+	m := mustNew(t, Config{NRanks: 1})
+	if start := m.InjectAt(0, 100, 1000); start != 100 {
+		t.Fatal("contention applied when disabled")
+	}
+	if start := m.InjectAt(0, 150, 1000); start != 150 {
+		t.Fatal("contention applied when disabled")
+	}
+}
+
+func TestEagerLimit(t *testing.T) {
+	m := mustNew(t, Config{NRanks: 1, EagerLimit: 4096})
+	if !m.Eager(4096) || !m.Eager(1) {
+		t.Fatal("small messages should be eager")
+	}
+	if m.Eager(4097) {
+		t.Fatal("large message reported eager")
+	}
+	sync := mustNew(t, Config{NRanks: 1})
+	if sync.Eager(1) {
+		t.Fatal("eager with zero limit")
+	}
+}
+
+func TestLocalClockOffsetAndDrift(t *testing.T) {
+	m := mustNew(t, Config{
+		NRanks:        2,
+		Seed:          5,
+		ClockOffset:   dist.Constant{C: 1_000_000},
+		ClockDriftPPM: dist.Constant{C: 100}, // +100 ppm
+	})
+	if got := m.LocalClock(0, 0); got != 1_000_000 {
+		t.Fatalf("local(0) = %d", got)
+	}
+	// 10^6 global cycles at +100ppm -> +100 cycles of drift.
+	if got := m.LocalClock(0, 1_000_000); got != 2_000_100 {
+		t.Fatalf("local(1e6) = %d, want 2000100", got)
+	}
+	if m.ClockOffset(1) != 1_000_000 || m.ClockDriftPPM(1) != 100 {
+		t.Fatal("accessors disagree with samples")
+	}
+}
+
+func TestLocalClockIntervalScaling(t *testing.T) {
+	m := mustNew(t, Config{
+		NRanks:        1,
+		Seed:          6,
+		ClockOffset:   dist.Constant{C: 12345},
+		ClockDriftPPM: dist.Constant{C: -200},
+	})
+	// An interval of W global cycles reads as ~W*(1-200e-6) locally,
+	// independent of the offset.
+	a := m.LocalClock(0, 5_000_000)
+	b := m.LocalClock(0, 6_000_000)
+	got := b - a
+	want := int64(1_000_000 - 200)
+	if got != want {
+		t.Fatalf("local interval = %d, want %d", got, want)
+	}
+}
+
+func TestSampleCounters(t *testing.T) {
+	m := mustNew(t, Config{NRanks: 1, Seed: 7, Noise: dist.Constant{C: 1}})
+	m.OpNoise(0)
+	m.OpNoise(0)
+	m.Latency()
+	if m.NoiseSamples() != 2 || m.LatencySamples() != 1 {
+		t.Fatalf("counters = %d/%d", m.NoiseSamples(), m.LatencySamples())
+	}
+}
+
+func TestRankNoiseOverride(t *testing.T) {
+	m := mustNew(t, Config{
+		NRanks:    3,
+		Seed:      8,
+		Noise:     dist.Constant{C: 10},
+		RankNoise: []dist.Distribution{nil, dist.Constant{C: 500}},
+	})
+	if got := m.OpNoise(0); got != 10 {
+		t.Fatalf("rank 0 noise = %d, want fallback 10", got)
+	}
+	if got := m.OpNoise(1); got != 500 {
+		t.Fatalf("rank 1 noise = %d, want override 500", got)
+	}
+	if got := m.OpNoise(2); got != 10 {
+		t.Fatalf("rank 2 (beyond slice) noise = %d, want fallback 10", got)
+	}
+}
+
+func TestScaleCompute(t *testing.T) {
+	m := mustNew(t, Config{NRanks: 3, CPUScale: []float64{2.0, 0, 0.5}})
+	if got := m.ScaleCompute(0, 1000); got != 2000 {
+		t.Fatalf("slow core scale = %d", got)
+	}
+	if got := m.ScaleCompute(1, 1000); got != 1000 {
+		t.Fatalf("zero entry should mean 1.0: %d", got)
+	}
+	if got := m.ScaleCompute(2, 1000); got != 500 {
+		t.Fatalf("fast core scale = %d", got)
+	}
+}

@@ -1,0 +1,127 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology shapes per-pair message latency: a message between two
+// ranks samples the latency distribution once and multiplies it by the
+// hop count between them. The default TopoFull is a full crossbar
+// (every pair one hop), matching the paper's flat latency model;
+// the others let experiments probe placement sensitivity.
+type Topology uint8
+
+const (
+	// TopoFull is a full crossbar: one hop between any pair.
+	TopoFull Topology = iota
+	// TopoRing is a bidirectional ring: hops = min ring distance.
+	TopoRing
+	// TopoMesh2D is a 2-D mesh on the most-square factorization of the
+	// rank count: hops = Manhattan distance (minimum 1).
+	TopoMesh2D
+	// TopoHypercube is a binary hypercube (rank count rounded up to a
+	// power of two): hops = Hamming distance (minimum 1).
+	TopoHypercube
+)
+
+// String returns the topology name.
+func (t Topology) String() string {
+	switch t {
+	case TopoFull:
+		return "full"
+	case TopoRing:
+		return "ring"
+	case TopoMesh2D:
+		return "mesh2d"
+	case TopoHypercube:
+		return "hypercube"
+	}
+	return fmt.Sprintf("topology(%d)", uint8(t))
+}
+
+// ParseTopology resolves a topology name.
+func ParseTopology(name string) (Topology, error) {
+	switch name {
+	case "", "full":
+		return TopoFull, nil
+	case "ring":
+		return TopoRing, nil
+	case "mesh2d", "mesh":
+		return TopoMesh2D, nil
+	case "hypercube", "cube":
+		return TopoHypercube, nil
+	}
+	return TopoFull, fmt.Errorf("machine: unknown topology %q (full, ring, mesh2d, hypercube)", name)
+}
+
+// Hops returns the topology distance between two ranks (minimum 1 for
+// distinct ranks, 0 for a rank and itself).
+func (m *Machine) Hops(a, b int) int64 {
+	if a == b {
+		return 0
+	}
+	p := m.cfg.NRanks
+	switch m.cfg.Topology {
+	case TopoRing:
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		if p-d < d {
+			d = p - d
+		}
+		return int64(d)
+	case TopoMesh2D:
+		w := meshWidth(p)
+		ax, ay := a%w, a/w
+		bx, by := b%w, b/w
+		dx, dy := ax-bx, ay-by
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		d := dx + dy
+		if d < 1 {
+			d = 1
+		}
+		return int64(d)
+	case TopoHypercube:
+		x := uint(a) ^ uint(b)
+		d := 0
+		for x != 0 {
+			d += int(x & 1)
+			x >>= 1
+		}
+		if d < 1 {
+			d = 1
+		}
+		return int64(d)
+	default:
+		return 1
+	}
+}
+
+// meshWidth is the most-square mesh width for p ranks.
+func meshWidth(p int) int {
+	w := int(math.Sqrt(float64(p)))
+	for w > 1 && p%w != 0 {
+		w--
+	}
+	if w < 1 {
+		w = 1
+	}
+	return p / w // wider dimension as the row width
+}
+
+// PathLatency samples a one-way latency for a specific pair: one draw
+// from the latency distribution scaled by the hop count.
+func (m *Machine) PathLatency(src, dst int) int64 {
+	hops := m.Hops(src, dst)
+	if hops == 0 {
+		return 0
+	}
+	return m.Latency() * hops
+}

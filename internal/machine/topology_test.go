@@ -1,0 +1,135 @@
+package machine
+
+import (
+	"testing"
+
+	"mpgraph/internal/dist"
+)
+
+func TestParseTopology(t *testing.T) {
+	for name, want := range map[string]Topology{
+		"":          TopoFull,
+		"full":      TopoFull,
+		"ring":      TopoRing,
+		"mesh2d":    TopoMesh2D,
+		"mesh":      TopoMesh2D,
+		"hypercube": TopoHypercube,
+		"cube":      TopoHypercube,
+	} {
+		got, err := ParseTopology(name)
+		if err != nil || got != want {
+			t.Errorf("ParseTopology(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseTopology("torus9d"); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestTopologyStrings(t *testing.T) {
+	for topo, want := range map[Topology]string{
+		TopoFull: "full", TopoRing: "ring", TopoMesh2D: "mesh2d",
+		TopoHypercube: "hypercube", Topology(99): "topology(99)",
+	} {
+		if got := topo.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", topo, got, want)
+		}
+	}
+}
+
+func TestHopsFull(t *testing.T) {
+	m := mustNew(t, Config{NRanks: 8})
+	if m.Hops(0, 7) != 1 || m.Hops(3, 4) != 1 {
+		t.Fatal("full crossbar should be one hop")
+	}
+	if m.Hops(2, 2) != 0 {
+		t.Fatal("self distance should be zero")
+	}
+}
+
+func TestHopsRing(t *testing.T) {
+	m := mustNew(t, Config{NRanks: 8, Topology: TopoRing})
+	for _, tc := range []struct {
+		a, b int
+		want int64
+	}{
+		{0, 1, 1}, {0, 7, 1}, {0, 4, 4}, {1, 6, 3}, {2, 2, 0},
+	} {
+		if got := m.Hops(tc.a, tc.b); got != tc.want {
+			t.Errorf("ring Hops(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestHopsMesh2D(t *testing.T) {
+	// 8 ranks -> 2x4 grid (width 4): rank = row*4 + col.
+	m := mustNew(t, Config{NRanks: 8, Topology: TopoMesh2D})
+	for _, tc := range []struct {
+		a, b int
+		want int64
+	}{
+		{0, 1, 1}, // same row adjacent
+		{0, 4, 1}, // same column adjacent
+		{0, 7, 4}, // (0,0)->(1,3): 1+3
+		{1, 6, 2}, // (0,1)->(1,2): 1+1
+		{3, 3, 0},
+	} {
+		if got := m.Hops(tc.a, tc.b); got != tc.want {
+			t.Errorf("mesh Hops(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestHopsHypercube(t *testing.T) {
+	m := mustNew(t, Config{NRanks: 8, Topology: TopoHypercube})
+	for _, tc := range []struct {
+		a, b int
+		want int64
+	}{
+		{0, 1, 1}, {0, 3, 2}, {0, 7, 3}, {5, 2, 3}, {6, 6, 0},
+	} {
+		if got := m.Hops(tc.a, tc.b); got != tc.want {
+			t.Errorf("cube Hops(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	for _, topo := range []Topology{TopoFull, TopoRing, TopoMesh2D, TopoHypercube} {
+		m := mustNew(t, Config{NRanks: 12, Topology: topo})
+		for a := 0; a < 12; a++ {
+			for b := 0; b < 12; b++ {
+				if m.Hops(a, b) != m.Hops(b, a) {
+					t.Fatalf("%s: Hops(%d,%d) asymmetric", topo, a, b)
+				}
+				if a != b && m.Hops(a, b) < 1 {
+					t.Fatalf("%s: Hops(%d,%d) < 1", topo, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestPathLatencyScalesWithHops(t *testing.T) {
+	m := mustNew(t, Config{NRanks: 8, Topology: TopoRing,
+		Latency: dist.Constant{C: 100}})
+	if got := m.PathLatency(0, 1); got != 100 {
+		t.Fatalf("1-hop latency = %d", got)
+	}
+	if got := m.PathLatency(0, 4); got != 400 {
+		t.Fatalf("4-hop latency = %d", got)
+	}
+	if got := m.PathLatency(3, 3); got != 0 {
+		t.Fatalf("self latency = %d", got)
+	}
+}
+
+func TestMeshWidthChoices(t *testing.T) {
+	for _, tc := range []struct{ p, width int }{
+		{1, 1}, {2, 2}, {4, 2}, {6, 3}, {8, 4}, {9, 3}, {12, 4}, {16, 4}, {7, 7},
+	} {
+		if got := meshWidth(tc.p); got != tc.width {
+			t.Errorf("meshWidth(%d) = %d, want %d", tc.p, got, tc.width)
+		}
+	}
+}

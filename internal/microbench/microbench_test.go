@@ -1,0 +1,211 @@
+package microbench
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mpgraph/internal/dist"
+	"mpgraph/internal/machine"
+)
+
+func quietPlatform() machine.Config {
+	return machine.Config{NRanks: 2, Seed: 1}
+}
+
+func noisyPlatform(mean float64) machine.Config {
+	return machine.Config{
+		NRanks:  2,
+		Seed:    2,
+		Noise:   dist.Exponential{MeanValue: mean},
+		Latency: dist.Uniform{Low: 800, High: 1200},
+	}
+}
+
+func TestFTQQuietPlatformIsNoiseless(t *testing.T) {
+	samples, err := FTQ(quietPlatform(), 10_000, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range samples {
+		if v != 0 {
+			t.Fatalf("sample %d = %g on a noiseless platform", i, v)
+		}
+	}
+}
+
+func TestFTQRecoversNoiseMean(t *testing.T) {
+	const mean = 150.0
+	samples, err := FTQ(noisyPlatform(mean), 10_000, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dist.Summarize(samples)
+	// One noise sample per compute call (no quantum on the machine),
+	// so the FTQ per-quantum loss should match the machine's mean.
+	if math.Abs(s.Mean-mean) > mean*0.15 {
+		t.Fatalf("FTQ mean = %g, want ~%g", s.Mean, mean)
+	}
+}
+
+func TestFTQSeesQuantizedNoise(t *testing.T) {
+	// A machine with per-quantum interference: FTQ's per-quantum loss
+	// tracks the machine quantum structure.
+	p := machine.Config{
+		NRanks:         2,
+		Seed:           3,
+		Noise:          dist.Constant{C: 25},
+		ComputeQuantum: 5_000,
+	}
+	samples, err := FTQ(p, 10_000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range samples {
+		if v != 50 { // 2 quanta × 25
+			t.Fatalf("quantized FTQ sample = %g, want 50", v)
+		}
+	}
+}
+
+func TestPingPongEstimatesLatency(t *testing.T) {
+	p := quietPlatform() // constant latency 1000, overhead 100
+	samples, err := PingPong(p, 8, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dist.Summarize(samples)
+	// One-way: overhead(100) + ser(8) + lat(1000) + ack lat(1000)
+	// halves to ~ latency+overheads; must sit within a factor of ~2.5
+	// of the true 1000.
+	if s.Mean < 1000 || s.Mean > 2500 {
+		t.Fatalf("ping-pong latency estimate %g implausible for true 1000", s.Mean)
+	}
+	if s.StdDev != 0 {
+		t.Fatalf("constant-latency platform produced jitter %g", s.StdDev)
+	}
+}
+
+func TestPingPongSeesJitter(t *testing.T) {
+	samples, err := PingPong(noisyPlatform(0), 8, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Summarize(samples).StdDev == 0 {
+		t.Fatal("jittery platform produced constant latency")
+	}
+}
+
+func TestBandwidthRecoversConfiguredRate(t *testing.T) {
+	p := quietPlatform()
+	p.BytesPerCycle = 4
+	bw, err := Bandwidth(p, 1<<20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bw-4) > 0.2 {
+		t.Fatalf("bandwidth = %g B/cycle, want ~4", bw)
+	}
+}
+
+func TestMeasureAssemblesSignature(t *testing.T) {
+	sig, err := Measure(noisyPlatform(80), Config{
+		FTQSamples: 500, PingPongSamples: 200, BandwidthSamples: 10,
+	}, "testplatform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Platform != "testplatform" {
+		t.Fatal("label lost")
+	}
+	if len(sig.NoisePerQuantum) != 500 || len(sig.OneWayLatency) != 200 {
+		t.Fatalf("sample counts: %d/%d", len(sig.NoisePerQuantum), len(sig.OneWayLatency))
+	}
+	if sig.BytesPerCycle <= 0 {
+		t.Fatal("no bandwidth measured")
+	}
+	if sig.NoiseSummary().Mean <= 0 {
+		t.Fatal("noisy platform produced zero FTQ mean")
+	}
+}
+
+func TestMeasureRejectsSingleRank(t *testing.T) {
+	if _, err := Measure(machine.Config{NRanks: 1, Seed: 1}, Config{}, "x"); err == nil {
+		t.Fatal("single-rank platform accepted")
+	}
+}
+
+func TestSignatureRoundTrip(t *testing.T) {
+	sig := &Signature{
+		Platform:        "p1",
+		Quantum:         10_000,
+		NoisePerQuantum: []float64{0, 10, 20},
+		OneWayLatency:   []float64{900, 1000, 1100},
+		BytesPerCycle:   2.5,
+	}
+	path := filepath.Join(t.TempDir(), "sig.json")
+	if err := sig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sig) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, sig)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := (&Signature{}).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSignatureDistributions(t *testing.T) {
+	sig := &Signature{
+		NoisePerQuantum: []float64{0, 0, 0, 100},
+		OneWayLatency:   []float64{1000, 1100, 1500},
+	}
+	n := sig.NoiseEmpirical()
+	if n.Mean() != 25 {
+		t.Fatalf("noise mean = %g", n.Mean())
+	}
+	j := sig.LatencyJitterEmpirical()
+	// Jitter is latency minus the observed minimum.
+	if j.Mean() != (0+100+500)/3.0 {
+		t.Fatalf("jitter mean = %g", j.Mean())
+	}
+	r := dist.NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if v := j.Sample(r); v < 0 || v > 500 {
+			t.Fatalf("jitter sample %g out of range", v)
+		}
+	}
+}
+
+// TestSignatureDrivesAnalyzer is the end-to-end Section 5 pipeline:
+// measure a noisy platform, build empirical distributions, and feed
+// them to the analyzer via a model — the signature must inject delay.
+func TestSignatureDrivesAnalyzer(t *testing.T) {
+	sig, err := Measure(noisyPlatform(120), Config{FTQSamples: 500, PingPongSamples: 100, BandwidthSamples: 5}, "noisy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := sig.NoiseEmpirical()
+	if noise.Mean() <= 0 {
+		t.Fatal("expected positive measured noise")
+	}
+	jitter := sig.LatencyJitterEmpirical()
+	r := dist.NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if jitter.Sample(r) < 0 {
+			t.Fatal("negative jitter sample")
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package mpi is a deterministic simulated MPI-1 runtime. Programs are
+// ordinary Go functions of a *Rank handle; each rank runs as a
+// goroutine, but the runtime sequences them one at a time in virtual
+// time order, so a run is a sequential, perfectly reproducible
+// discrete simulation whose only "time" is the virtual cycle counter.
+//
+// The runtime plays the role of the MPI library plus cluster in the
+// paper's pipeline: it executes workloads on a machine model
+// (internal/machine) and, through its built-in PMPI-style tracing
+// layer, emits the per-rank event traces (internal/trace) that the
+// graph builder (internal/core) consumes. Blocking and nonblocking
+// point-to-point semantics, collectives, and communicators follow the
+// MPI-1 subset the paper treats in Section 3.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mpgraph/internal/machine"
+	"mpgraph/internal/trace"
+)
+
+// Program is the per-rank body of a parallel run. It is invoked once
+// per rank with that rank's handle. Returning a non-nil error aborts
+// the whole run.
+type Program func(r *Rank) error
+
+// Config configures a run.
+type Config struct {
+	// Machine is the platform model configuration. Machine.NRanks is
+	// the world size.
+	Machine machine.Config
+	// TraceBufferCap is the PMPI buffer capacity in records (Section 4
+	// of the paper: the memory-resident buffer dumped when full).
+	// Default 4096.
+	TraceBufferCap int
+	// TraceMeta is added to every rank's trace header.
+	TraceMeta map[string]string
+	// TraceDir, when non-empty, writes per-rank trace files there
+	// instead of collecting traces in memory.
+	TraceDir string
+	// DisableTracing turns the tracing layer off entirely (used by
+	// microbenchmarks probing the raw machine).
+	DisableTracing bool
+}
+
+// Stats aggregates counters over a run.
+type Stats struct {
+	// Messages is the number of point-to-point transfers completed.
+	Messages int64
+	// BytesSent is the total point-to-point payload volume.
+	BytesSent int64
+	// Collectives is the number of collective operations (counted once
+	// per operation, not per rank).
+	Collectives int64
+	// Events is the total number of trace records emitted.
+	Events int64
+}
+
+// Result describes a completed run.
+type Result struct {
+	// Traces holds the in-memory per-rank traces (nil when TraceDir or
+	// DisableTracing was used).
+	Traces []*trace.MemTrace
+	// FinalGlobal is each rank's final global virtual time.
+	FinalGlobal []int64
+	// Makespan is the maximum of FinalGlobal.
+	Makespan int64
+	// Stats holds run counters.
+	Stats Stats
+}
+
+// TraceSet wraps the in-memory traces as a trace.Set.
+func (r *Result) TraceSet() (*trace.Set, error) {
+	if r.Traces == nil {
+		return nil, errors.New("mpi: run did not collect in-memory traces")
+	}
+	return trace.SetFromMem(r.Traces)
+}
+
+// errAborted unwinds a rank goroutine when the world aborts.
+var errAborted = errors.New("mpi: run aborted")
+
+type procState uint8
+
+const (
+	stateReady procState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// proc is the runtime's per-rank bookkeeping.
+type proc struct {
+	rank   int
+	now    int64 // global virtual time
+	state  procState
+	resume chan struct{}
+	err    error
+	why    string // blocked-on description for deadlock reports
+
+	reqSeq uint64
+	tracer *tracer
+}
+
+// World is one run in progress.
+type World struct {
+	cfg    Config
+	m      *machine.Machine
+	procs  []*proc
+	parked chan *proc
+	abort  bool
+
+	queues    map[chanKey]*matchQueue
+	colls     map[collKey]*collSync
+	wildSends map[wildKey][]*xfer
+	wildRecvs map[wildKey][]*wildRecv
+
+	nextCommID int32
+	splitSeq   int64
+
+	stats Stats
+}
+
+// Run executes program on a fresh world and returns the result.
+func Run(cfg Config, program Program) (*Result, error) {
+	if cfg.TraceBufferCap <= 0 {
+		cfg.TraceBufferCap = 4096
+	}
+	m, err := machine.New(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	n := m.NRanks()
+	w := &World{
+		cfg:        cfg,
+		m:          m,
+		procs:      make([]*proc, n),
+		parked:     make(chan *proc),
+		queues:     make(map[chanKey]*matchQueue),
+		colls:      make(map[collKey]*collSync),
+		wildSends:  make(map[wildKey][]*xfer),
+		wildRecvs:  make(map[wildKey][]*wildRecv),
+		nextCommID: 1,
+	}
+
+	sinks := make([]recordSink, n)
+	var closers []func() error
+	for rank := 0; rank < n; rank++ {
+		hdr := trace.Header{Rank: rank, NRanks: n, Meta: cfg.TraceMeta}
+		switch {
+		case cfg.DisableTracing:
+			sinks[rank] = nopSink{}
+		case cfg.TraceDir != "":
+			fw, closeFn, err := trace.CreateFileWriter(cfg.TraceDir, hdr, cfg.TraceBufferCap)
+			if err != nil {
+				return nil, err
+			}
+			sinks[rank] = writerSink{w: fw}
+			closers = append(closers, closeFn)
+		default:
+			sinks[rank] = &memSink{mem: &trace.MemTrace{Hdr: hdr}}
+		}
+	}
+
+	for rank := 0; rank < n; rank++ {
+		p := &proc{
+			rank:   rank,
+			state:  stateReady,
+			resume: make(chan struct{}),
+		}
+		p.tracer = &tracer{world: w, rank: rank, sink: sinks[rank]}
+		w.procs[rank] = p
+	}
+	for rank := 0; rank < n; rank++ {
+		p := w.procs[rank]
+		go w.runProc(p, program)
+	}
+
+	runErr := w.schedule()
+
+	// Finalize traces.
+	res := &Result{FinalGlobal: make([]int64, n), Stats: w.stats}
+	for rank := 0; rank < n; rank++ {
+		res.FinalGlobal[rank] = w.procs[rank].now
+		if res.FinalGlobal[rank] > res.Makespan {
+			res.Makespan = res.FinalGlobal[rank]
+		}
+	}
+	for _, closeFn := range closers {
+		if err := closeFn(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	if !cfg.DisableTracing && cfg.TraceDir == "" {
+		res.Traces = make([]*trace.MemTrace, n)
+		for rank := 0; rank < n; rank++ {
+			res.Traces[rank] = sinks[rank].(*memSink).mem
+		}
+	}
+	return res, nil
+}
+
+// runProc is the rank goroutine body.
+func (w *World) runProc(p *proc, program Program) {
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && errors.Is(err, errAborted) {
+				p.err = errAborted
+			} else {
+				p.err = fmt.Errorf("mpi: rank %d panicked: %v", p.rank, r)
+			}
+		}
+		p.state = stateDone
+		w.parked <- p
+	}()
+	<-p.resume // wait for the first schedule
+	if w.abort {
+		panic(errAborted)
+	}
+	rank := &Rank{world: w, proc: p}
+	rank.init()
+	if err := program(rank); err != nil {
+		p.err = fmt.Errorf("mpi: rank %d: %w", p.rank, err)
+		return
+	}
+	rank.finalize()
+}
+
+// schedule is the deterministic run loop: repeatedly resume the ready
+// proc with the smallest virtual time (ties broken by rank), wait for
+// it to park, and stop when all procs are done or none can run.
+func (w *World) schedule() error {
+	for {
+		next := w.pickReady()
+		if next == nil {
+			if w.allDone() {
+				return w.collectErrors()
+			}
+			// Deadlock or error-induced stall: abort the stragglers.
+			deadlockErr := w.deadlockError()
+			w.abortAll()
+			if err := w.collectErrors(); err != nil {
+				return err
+			}
+			return deadlockErr
+		}
+		next.state = stateRunning
+		next.resume <- struct{}{}
+		p := <-w.parked
+		if p.state == stateRunning {
+			p.state = stateReady
+		}
+		if p.err != nil && !errors.Is(p.err, errAborted) && p.state == stateDone {
+			// A rank failed; stop everything.
+			w.abortAll()
+			return w.collectErrors()
+		}
+	}
+}
+
+func (w *World) pickReady() *proc {
+	var best *proc
+	for _, p := range w.procs {
+		if p.state != stateReady {
+			continue
+		}
+		if best == nil || p.now < best.now {
+			best = p
+		}
+	}
+	return best
+}
+
+func (w *World) allDone() bool {
+	for _, p := range w.procs {
+		if p.state != stateDone {
+			return false
+		}
+	}
+	return true
+}
+
+// abortAll releases every non-done proc so its goroutine can unwind.
+func (w *World) abortAll() {
+	w.abort = true
+	for {
+		released := false
+		for _, p := range w.procs {
+			if p.state == stateBlocked || p.state == stateReady {
+				p.state = stateRunning
+				p.resume <- struct{}{}
+				q := <-w.parked
+				if q.state == stateRunning {
+					q.state = stateReady
+				}
+				released = true
+			}
+		}
+		if !released {
+			break
+		}
+	}
+}
+
+func (w *World) collectErrors() error {
+	var errs []error
+	for _, p := range w.procs {
+		if p.err != nil && !errors.Is(p.err, errAborted) {
+			errs = append(errs, p.err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (w *World) deadlockError() error {
+	var stuck []string
+	for _, p := range w.procs {
+		if p.state == stateBlocked {
+			stuck = append(stuck, fmt.Sprintf("rank %d: %s", p.rank, p.why))
+		}
+	}
+	sort.Strings(stuck)
+	return fmt.Errorf("mpi: deadlock; blocked ranks: %v", stuck)
+}
+
+// yield parks the calling proc and waits to be rescheduled. The caller
+// must have set p.state (stateReady to stay runnable, stateBlocked to
+// wait for another rank's action).
+func (w *World) yield(p *proc) {
+	w.parked <- p
+	<-p.resume
+	if w.abort {
+		panic(errAborted)
+	}
+}
+
+// block parks the proc until another rank unblocks it.
+func (w *World) block(p *proc, why string) {
+	p.state = stateBlocked
+	p.why = why
+	w.yield(p)
+}
+
+// unblock marks a blocked proc runnable at global time t.
+func (w *World) unblock(p *proc, t int64) {
+	if p.state != stateBlocked {
+		panic(fmt.Sprintf("mpi: unblock of rank %d in state %d", p.rank, p.state))
+	}
+	if t > p.now {
+		p.now = t
+	}
+	p.state = stateReady
+	p.why = ""
+}

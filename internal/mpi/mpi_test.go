@@ -1,0 +1,597 @@
+package mpi
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mpgraph/internal/dist"
+	"mpgraph/internal/machine"
+	"mpgraph/internal/trace"
+)
+
+// quiet returns a machine config with deterministic, noise-free timing
+// so tests can assert exact cycle counts:
+// overhead 100, latency 1000, bandwidth 1 B/cycle.
+func quiet(nranks int) machine.Config {
+	return machine.Config{NRanks: nranks, Seed: 1}
+}
+
+func mustRun(t *testing.T, cfg Config, prog Program) *Result {
+	t.Helper()
+	res, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func kinds(m *trace.MemTrace) []trace.Kind {
+	out := make([]trace.Kind, len(m.Records))
+	for i, r := range m.Records {
+		out[i] = r.Kind
+	}
+	return out
+}
+
+func findKind(m *trace.MemTrace, k trace.Kind) *trace.Record {
+	for i := range m.Records {
+		if m.Records[i].Kind == k {
+			return &m.Records[i]
+		}
+	}
+	return nil
+}
+
+func TestSingleRankComputeOnly(t *testing.T) {
+	res := mustRun(t, Config{Machine: quiet(1)}, func(r *Rank) error {
+		r.Compute(5000)
+		return nil
+	})
+	// init overhead (100) + compute 5000 + finalize overhead (100).
+	if res.Makespan != 5200 {
+		t.Fatalf("makespan = %d, want 5200", res.Makespan)
+	}
+	got := kinds(res.Traces[0])
+	want := []trace.Kind{trace.KindInit, trace.KindFinalize}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("kinds = %v", got)
+	}
+	// Compute time appears as the gap between init end and finalize begin.
+	gap := res.Traces[0].Records[1].Begin - res.Traces[0].Records[0].End
+	if gap != 5000 {
+		t.Fatalf("compute gap = %d, want 5000", gap)
+	}
+}
+
+func TestBlockingPingTiming(t *testing.T) {
+	// Rank 0 sends 1000 bytes to rank 1 (rendezvous: EagerLimit=0).
+	res := mustRun(t, Config{Machine: quiet(2)}, func(r *Rank) error {
+		switch r.Rank() {
+		case 0:
+			r.Send(1, 7, 1000)
+		case 1:
+			if got := r.Recv(0, 7); got != 1000 {
+				t.Errorf("recv returned %d bytes", got)
+			}
+		}
+		return nil
+	})
+	tr0, tr1 := res.Traces[0], res.Traces[1]
+	send := findKind(tr0, trace.KindSend)
+	recv := findKind(tr1, trace.KindRecv)
+	if send == nil || recv == nil {
+		t.Fatal("missing send/recv records")
+	}
+	// Both ranks: init [0,100]. Send begins at 100, posts at 200.
+	// Recv begins at 100, posts at 200. start=200, arrival=200+1000(ser)+1000(lat)=2200.
+	// cR = 2200, cS = cR + 1000 (ack) = 3200.
+	if send.Begin != 100 || send.End != 3200 {
+		t.Fatalf("send = [%d,%d], want [100,3200]", send.Begin, send.End)
+	}
+	if recv.Begin != 100 || recv.End != 2200 {
+		t.Fatalf("recv = [%d,%d], want [100,2200]", recv.Begin, recv.End)
+	}
+	if send.Bytes != 1000 || recv.Bytes != 1000 {
+		t.Fatal("bytes not recorded")
+	}
+	if send.Peer != 1 || recv.Peer != 0 {
+		t.Fatal("peers wrong")
+	}
+	if res.Stats.Messages != 1 || res.Stats.BytesSent != 1000 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+}
+
+func TestEagerSendDoesNotWaitForReceiver(t *testing.T) {
+	cfg := quiet(2)
+	cfg.EagerLimit = 4096
+	res := mustRun(t, Config{Machine: cfg}, func(r *Rank) error {
+		switch r.Rank() {
+		case 0:
+			r.Send(1, 0, 100)
+		case 1:
+			r.Compute(50_000) // receiver is late
+			r.Recv(0, 0)
+		}
+		return nil
+	})
+	send := findKind(res.Traces[0], trace.KindSend)
+	// Sender: init 100 + overhead 100 -> post at 200, copy 100 bytes -> end 300.
+	if send.End != 300 {
+		t.Fatalf("eager send end = %d, want 300", send.End)
+	}
+	recv := findKind(res.Traces[1], trace.KindRecv)
+	// Receiver posts at 100+50000+100 = 50200, data long since arrived.
+	if recv.End != 50200 {
+		t.Fatalf("late eager recv end = %d, want 50200", recv.End)
+	}
+}
+
+func TestRendezvousSendWaitsForReceiver(t *testing.T) {
+	res := mustRun(t, Config{Machine: quiet(2)}, func(r *Rank) error {
+		switch r.Rank() {
+		case 0:
+			r.Send(1, 0, 100)
+		case 1:
+			r.Compute(50_000)
+			r.Recv(0, 0)
+		}
+		return nil
+	})
+	send := findKind(res.Traces[0], trace.KindSend)
+	// start = max(200, 50200) = 50200; arrival = 50200+100+1000 = 51300;
+	// cR = 51300; cS = 51300+1000 = 52300.
+	if send.End != 52300 {
+		t.Fatalf("rendezvous send end = %d, want 52300", send.End)
+	}
+}
+
+func TestIsendIrecvWait(t *testing.T) {
+	res := mustRun(t, Config{Machine: quiet(2)}, func(r *Rank) error {
+		switch r.Rank() {
+		case 0:
+			req := r.Isend(1, 3, 500)
+			r.Compute(10_000) // overlap
+			r.Wait(req)
+		case 1:
+			req := r.Irecv(0, 3)
+			r.Compute(10_000)
+			r.Wait(req)
+			if req.Bytes() != 500 {
+				t.Errorf("irecv bytes = %d", req.Bytes())
+			}
+		}
+		return nil
+	})
+	tr0, tr1 := res.Traces[0], res.Traces[1]
+	isend := findKind(tr0, trace.KindIsend)
+	// Isend returns immediately: begin 100, end 200 (overhead only).
+	if isend.End-isend.Begin != 100 {
+		t.Fatalf("isend duration = %d, want overhead 100", isend.End-isend.Begin)
+	}
+	w0 := findKind(tr0, trace.KindWait)
+	w1 := findKind(tr1, trace.KindWait)
+	if w0 == nil || w1 == nil {
+		t.Fatal("missing wait records")
+	}
+	if w0.Req != isend.Req {
+		t.Fatal("wait does not reference isend request")
+	}
+	// Transfer: both posted at 200; start 200; arrival=200+500+1000=1700;
+	// cR=1700 < wait entry (10300); so recv wait ends at its own 10300.
+	if w1.End != 10300 {
+		t.Fatalf("recv wait end = %d, want 10300", w1.End)
+	}
+	// Sender: cS = cR + 1000 = 2700 < 10300; same.
+	if w0.End != 10300 {
+		t.Fatalf("send wait end = %d, want 10300", w0.End)
+	}
+}
+
+func TestWaitBlocksUntilPeerPosts(t *testing.T) {
+	res := mustRun(t, Config{Machine: quiet(2)}, func(r *Rank) error {
+		switch r.Rank() {
+		case 0:
+			req := r.Isend(1, 0, 100)
+			r.Wait(req) // blocks: no matching recv yet
+		case 1:
+			r.Compute(20_000)
+			r.Recv(0, 0)
+		}
+		return nil
+	})
+	w0 := findKind(res.Traces[0], trace.KindWait)
+	// recv posts at 20200; start = max(200,20200); arrival = 20200+100+1000=21300;
+	// cS = 21300+1000 = 22300.
+	if w0.End != 22300 {
+		t.Fatalf("blocked wait end = %d, want 22300", w0.End)
+	}
+}
+
+func TestWaitallRecordsPerRequest(t *testing.T) {
+	res := mustRun(t, Config{Machine: quiet(2)}, func(r *Rank) error {
+		switch r.Rank() {
+		case 0:
+			a := r.Isend(1, 1, 10)
+			b := r.Isend(1, 2, 10)
+			r.Waitall(a, b)
+		case 1:
+			a := r.Irecv(0, 1)
+			b := r.Irecv(0, 2)
+			r.Waitall(a, b)
+		}
+		return nil
+	})
+	var waits []trace.Record
+	for _, rec := range res.Traces[0].Records {
+		if rec.Kind == trace.KindWaitall {
+			waits = append(waits, rec)
+		}
+	}
+	if len(waits) != 2 {
+		t.Fatalf("got %d waitall records, want 2", len(waits))
+	}
+	// Convention: first record carries the interval, the rest are
+	// zero-duration at the completion time (no per-rank overlap).
+	if waits[0].End != waits[1].End {
+		t.Fatal("waitall records should share the completion time")
+	}
+	if waits[1].Begin != waits[0].End || waits[1].Duration() != 0 {
+		t.Fatalf("second waitall record should be zero-duration at completion: %+v", waits[1])
+	}
+	if waits[0].Req == waits[1].Req {
+		t.Fatal("waitall records must reference distinct requests")
+	}
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	res := mustRun(t, Config{Machine: quiet(2)}, func(r *Rank) error {
+		peer := 1 - r.Rank()
+		n := r.Sendrecv(peer, 0, 256, peer, 0)
+		if n != 256 {
+			t.Errorf("rank %d sendrecv returned %d bytes", r.Rank(), n)
+		}
+		return nil
+	})
+	got := kinds(res.Traces[0])
+	want := []trace.Kind{trace.KindInit, trace.KindIsend, trace.KindIrecv,
+		trace.KindWaitall, trace.KindWaitall, trace.KindFinalize}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("kinds = %v", got)
+	}
+}
+
+func TestMessageOrderNonOvertaking(t *testing.T) {
+	// Two same-tag messages must match in order.
+	res := mustRun(t, Config{Machine: quiet(2)}, func(r *Rank) error {
+		switch r.Rank() {
+		case 0:
+			r.Send(1, 0, 111)
+			r.Send(1, 0, 222)
+		case 1:
+			if got := r.Recv(0, 0); got != 111 {
+				t.Errorf("first recv got %d bytes, want 111", got)
+			}
+			if got := r.Recv(0, 0); got != 222 {
+				t.Errorf("second recv got %d bytes, want 222", got)
+			}
+		}
+		return nil
+	})
+	_ = res
+}
+
+func TestTagsMatchIndependently(t *testing.T) {
+	// Receives posted in the opposite tag order still match by tag.
+	// Eager sends are required: with synchronous sends this pattern is
+	// a genuine deadlock (rank 0 waits in send(tag 1) while rank 1
+	// waits in recv(tag 2)) — see TestDeadlockDetected.
+	cfg := quiet(2)
+	cfg.EagerLimit = 1 << 20
+	mustRun(t, Config{Machine: cfg}, func(r *Rank) error {
+		switch r.Rank() {
+		case 0:
+			r.Send(1, 1, 100)
+			r.Send(1, 2, 200)
+		case 1:
+			if got := r.Recv(0, 2); got != 200 {
+				t.Errorf("tag-2 recv got %d", got)
+			}
+			if got := r.Recv(0, 1); got != 100 {
+				t.Errorf("tag-1 recv got %d", got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	_, err := Run(Config{Machine: quiet(2)}, func(r *Rank) error {
+		// Both ranks receive first: classic deadlock (rendezvous).
+		peer := 1 - r.Rank()
+		r.Recv(peer, 0)
+		r.Send(peer, 0, 10)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("deadlock not detected")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestProgramErrorPropagates(t *testing.T) {
+	_, err := Run(Config{Machine: quiet(2)}, func(r *Rank) error {
+		if r.Rank() == 1 {
+			return strings.NewReader("").UnreadByte() // any error
+		}
+		r.Compute(10)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("program error swallowed")
+	}
+	if !strings.Contains(err.Error(), "rank 1") {
+		t.Fatalf("error lacks rank attribution: %v", err)
+	}
+}
+
+func TestProgramPanicBecomesError(t *testing.T) {
+	_, err := Run(Config{Machine: quiet(2)}, func(r *Rank) error {
+		if r.Rank() == 0 {
+			panic("boom")
+		}
+		r.Recv(0, 0) // would deadlock if not aborted
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic not converted: %v", err)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := Config{Machine: machine.Config{
+		NRanks:  4,
+		Seed:    42,
+		Noise:   dist.Exponential{MeanValue: 30},
+		Latency: dist.Uniform{Low: 800, High: 1200},
+	}}
+	prog := func(r *Rank) error {
+		next := (r.Rank() + 1) % r.Size()
+		prev := (r.Rank() + r.Size() - 1) % r.Size()
+		for i := 0; i < 5; i++ {
+			r.Compute(1000)
+			r.Sendrecv(next, 0, 512, prev, 0)
+			r.Allreduce(8)
+		}
+		return nil
+	}
+	a := mustRun(t, cfg, prog)
+	b := mustRun(t, cfg, prog)
+	if a.Makespan != b.Makespan {
+		t.Fatalf("makespans differ: %d vs %d", a.Makespan, b.Makespan)
+	}
+	for rank := range a.Traces {
+		if !reflect.DeepEqual(a.Traces[rank].Records, b.Traces[rank].Records) {
+			t.Fatalf("rank %d traces differ", rank)
+		}
+	}
+}
+
+func TestTraceTimesMonotonePerRank(t *testing.T) {
+	cfg := Config{Machine: machine.Config{
+		NRanks:        4,
+		Seed:          7,
+		Noise:         dist.Exponential{MeanValue: 50},
+		ClockOffset:   dist.Uniform{Low: 0, High: 1e9},
+		ClockDriftPPM: dist.Uniform{Low: -500, High: 500},
+	}}
+	res := mustRun(t, cfg, func(r *Rank) error {
+		for i := 0; i < 10; i++ {
+			r.Compute(500)
+			r.Allreduce(8)
+		}
+		return nil
+	})
+	for rank, tr := range res.Traces {
+		prevEnd := int64(-1 << 62)
+		for i, rec := range tr.Records {
+			if rec.Begin < prevEnd {
+				t.Fatalf("rank %d record %d overlaps predecessor", rank, i)
+			}
+			if rec.End < rec.Begin {
+				t.Fatalf("rank %d record %d negative duration", rank, i)
+			}
+			prevEnd = rec.End
+		}
+	}
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	_, err := Run(Config{Machine: quiet(2)}, func(r *Rank) error {
+		if r.Rank() == 0 {
+			r.Send(0, 0, 10)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "self") {
+		t.Fatalf("self-send not rejected: %v", err)
+	}
+}
+
+func TestDoubleWaitPanics(t *testing.T) {
+	_, err := Run(Config{Machine: quiet(2)}, func(r *Rank) error {
+		switch r.Rank() {
+		case 0:
+			req := r.Isend(1, 0, 10)
+			r.Wait(req)
+			r.Wait(req)
+		case 1:
+			r.Recv(0, 0)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("double wait not rejected: %v", err)
+	}
+}
+
+func TestMarkerRecorded(t *testing.T) {
+	res := mustRun(t, Config{Machine: quiet(1)}, func(r *Rank) error {
+		r.Compute(100)
+		r.Marker(42)
+		return nil
+	})
+	m := findKind(res.Traces[0], trace.KindMarker)
+	if m == nil || m.Tag != 42 || m.Begin != m.End {
+		t.Fatalf("marker record = %+v", m)
+	}
+}
+
+func TestRunToDirWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	res := mustRun(t, Config{Machine: quiet(2), TraceDir: dir,
+		TraceMeta: map[string]string{"workload": "test"}}, func(r *Rank) error {
+		peer := 1 - r.Rank()
+		if r.Rank() == 0 {
+			r.Send(peer, 0, 64)
+		} else {
+			r.Recv(peer, 0)
+		}
+		return nil
+	})
+	if res.Traces != nil {
+		t.Fatal("dir-mode run should not collect in-memory traces")
+	}
+	set, closeFn, err := trace.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn() //nolint:errcheck
+	if set.NRanks() != 2 {
+		t.Fatalf("NRanks = %d", set.NRanks())
+	}
+	m, err := trace.ReadAll(set.Rank(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hdr.Meta["workload"] != "test" {
+		t.Fatal("metadata lost")
+	}
+	if findKind(m, trace.KindSend) == nil {
+		t.Fatal("send record missing in file trace")
+	}
+}
+
+func TestClockDistortionAppearsInTraces(t *testing.T) {
+	cfg := Config{Machine: machine.Config{
+		NRanks:      2,
+		Seed:        3,
+		ClockOffset: dist.Uniform{Low: 1e6, High: 2e6},
+	}}
+	res := mustRun(t, cfg, func(r *Rank) error {
+		r.Compute(100)
+		return nil
+	})
+	// Init begins at global 0 but must be recorded at the local offset.
+	first := res.Traces[0].Records[0]
+	if first.Begin < 1_000_000 {
+		t.Fatalf("trace not in local clock: init begin = %d", first.Begin)
+	}
+	// And the two ranks' offsets differ (cross-rank comparison invalid).
+	if res.Traces[0].Records[0].Begin == res.Traces[1].Records[0].Begin {
+		t.Fatal("ranks share an offset; expected distinct clocks")
+	}
+}
+
+func TestTopologyAffectsTiming(t *testing.T) {
+	// Sending across a ring (4 hops on 8 ranks) must take longer than
+	// on a full crossbar; everything else equal.
+	prog := func(r *Rank) error {
+		switch r.Rank() {
+		case 0:
+			r.Send(4, 0, 100)
+		case 4:
+			r.Recv(0, 0)
+		}
+		return nil
+	}
+	full := mustRun(t, Config{Machine: machine.Config{NRanks: 8, Seed: 1}}, prog)
+	ringy := mustRun(t, Config{Machine: machine.Config{NRanks: 8, Seed: 1,
+		Topology: machine.TopoRing}}, prog)
+	if ringy.Makespan <= full.Makespan {
+		t.Fatalf("ring (%d) not slower than crossbar (%d)", ringy.Makespan, full.Makespan)
+	}
+	// 4 hops each way: data 4x + ack 4x = 3 extra data latencies and 3
+	// extra ack latencies = +6000 cycles at constant 1000.
+	if got := ringy.Makespan - full.Makespan; got != 6000 {
+		t.Fatalf("ring overhead = %d, want 6000", got)
+	}
+}
+
+func TestHeterogeneousCPUScale(t *testing.T) {
+	// Rank 1's core is 3x slower: its compute takes 3x the cycles.
+	cfg := quiet(2)
+	cfg.CPUScale = []float64{1, 3}
+	res := mustRun(t, Config{Machine: cfg}, func(r *Rank) error {
+		r.Compute(10_000)
+		return nil
+	})
+	d0 := res.FinalGlobal[0]
+	d1 := res.FinalGlobal[1]
+	if d1-d0 != 20_000 {
+		t.Fatalf("slow core gained %d extra cycles, want 20000", d1-d0)
+	}
+}
+
+func TestSsendForcesRendezvous(t *testing.T) {
+	// Even on an eager machine, Ssend waits for the receiver.
+	cfg := quiet(2)
+	cfg.EagerLimit = 1 << 20
+	res := mustRun(t, Config{Machine: cfg}, func(r *Rank) error {
+		switch r.Rank() {
+		case 0:
+			r.Ssend(1, 0, 100)
+		case 1:
+			r.Compute(50_000)
+			r.Recv(0, 0)
+		}
+		return nil
+	})
+	send := findKind(res.Traces[0], trace.KindSend)
+	if send.End < 50_000 {
+		t.Fatalf("Ssend completed before the receiver posted: end=%d", send.End)
+	}
+}
+
+func TestBsendForcesBuffered(t *testing.T) {
+	// Even on a rendezvous machine, Bsend completes after the copy.
+	res := mustRun(t, Config{Machine: quiet(2)}, func(r *Rank) error {
+		switch r.Rank() {
+		case 0:
+			r.Bsend(1, 0, 100)
+		case 1:
+			r.Compute(50_000)
+			r.Recv(0, 0)
+		}
+		return nil
+	})
+	send := findKind(res.Traces[0], trace.KindSend)
+	// init 100 + overhead 100 + copy 100 bytes = 300.
+	if send.End != 300 {
+		t.Fatalf("Bsend end = %d, want 300", send.End)
+	}
+}
+
+func TestEmptyWaitallIsNoOp(t *testing.T) {
+	res := mustRun(t, Config{Machine: quiet(1)}, func(r *Rank) error {
+		r.Waitall()
+		return nil
+	})
+	// Only init + finalize recorded.
+	if len(res.Traces[0].Records) != 2 {
+		t.Fatalf("records = %v", kinds(res.Traces[0]))
+	}
+}

@@ -1,0 +1,200 @@
+package mpi
+
+import (
+	"testing"
+
+	"mpgraph/internal/core"
+	"mpgraph/internal/machine"
+	"mpgraph/internal/trace"
+)
+
+func TestRecvAnyResolvesSource(t *testing.T) {
+	res := mustRun(t, Config{Machine: quiet(4)}, func(r *Rank) error {
+		switch r.Rank() {
+		case 0:
+			seen := map[int]bool{}
+			for i := 0; i < 3; i++ {
+				src, n := r.RecvAny(7)
+				if n != int64(100*(src+1)) {
+					t.Errorf("source %d delivered %d bytes", src, n)
+				}
+				seen[src] = true
+			}
+			if len(seen) != 3 {
+				t.Errorf("sources seen: %v", seen)
+			}
+		default:
+			r.Compute(int64(r.Rank()) * 10_000) // staggered arrival
+			r.Send(0, 7, int64(100*(r.Rank()+1)))
+		}
+		return nil
+	})
+	// Every recv record carries the resolved source, never a wildcard.
+	for _, rec := range res.Traces[0].Records {
+		if rec.Kind == trace.KindRecv && rec.Peer < 0 {
+			t.Fatalf("unresolved wildcard in trace: %+v", rec)
+		}
+	}
+}
+
+func TestRecvAnyAdoptsInPostingOrder(t *testing.T) {
+	// Both senders post before the receiver calls RecvAny; the earliest
+	// posted send is adopted first.
+	mustRun(t, Config{Machine: quiet(3)}, func(r *Rank) error {
+		switch r.Rank() {
+		case 1:
+			r.Send(0, 0, 111)
+		case 2:
+			r.Compute(50_000) // posts later
+			r.Send(0, 0, 222)
+		case 0:
+			r.Compute(200_000) // both sends already pending
+			src1, n1 := r.RecvAny(0)
+			src2, n2 := r.RecvAny(0)
+			if src1 != 1 || n1 != 111 {
+				t.Errorf("first adoption: src=%d n=%d, want 1/111", src1, n1)
+			}
+			if src2 != 2 || n2 != 222 {
+				t.Errorf("second adoption: src=%d n=%d, want 2/222", src2, n2)
+			}
+		}
+		return nil
+	})
+}
+
+func TestRecvAnyBlocksUntilAnySendArrives(t *testing.T) {
+	res := mustRun(t, Config{Machine: quiet(3)}, func(r *Rank) error {
+		switch r.Rank() {
+		case 0:
+			src, _ := r.RecvAny(3)
+			if src != 2 {
+				t.Errorf("resolved src = %d, want 2", src)
+			}
+		case 2:
+			r.Compute(80_000)
+			r.Send(0, 3, 64)
+		}
+		return nil
+	})
+	recv := findKind(res.Traces[0], trace.KindRecv)
+	if recv.End < 80_000 {
+		t.Fatalf("wildcard recv completed before the send was posted: %d", recv.End)
+	}
+}
+
+func TestRecvAnySpecificRecvPrecedence(t *testing.T) {
+	// A specific receive posted for (src=1, tag) claims rank 1's send;
+	// the wildcard then gets rank 2's.
+	mustRun(t, Config{Machine: quiet(3)}, func(r *Rank) error {
+		switch r.Rank() {
+		case 0:
+			// Specific receive first (it blocks until rank 1 sends).
+			if got := r.Recv(1, 0); got != 111 {
+				t.Errorf("specific recv got %d", got)
+			}
+			src, n := r.RecvAny(0)
+			if src != 2 || n != 222 {
+				t.Errorf("wildcard got src=%d n=%d", src, n)
+			}
+		case 1:
+			r.Send(0, 0, 111)
+		case 2:
+			r.Send(0, 0, 222)
+		}
+		return nil
+	})
+}
+
+func TestRecvAnyTracesAnalyzeCleanly(t *testing.T) {
+	// Wildcard traces must flow through the graph builder untouched
+	// (resolved sources make them ordinary pt2pt events).
+	res := mustRun(t, Config{Machine: machine.Config{NRanks: 5, Seed: 3}}, func(r *Rank) error {
+		if r.Rank() == 0 {
+			for i := 0; i < (r.Size()-1)*2; i++ {
+				src, _ := r.RecvAny(1)
+				r.Send(src, 2, 16) // ack back to whoever it was
+			}
+		} else {
+			for i := 0; i < 2; i++ {
+				r.Send(0, 1, 128)
+				r.Recv(0, 2)
+			}
+		}
+		return nil
+	})
+	set, err := res.TraceSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := core.Analyze(set, &core.Model{}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, rr := range out.Ranks {
+		if rr.FinalDelay != 0 {
+			t.Fatalf("rank %d: nonzero delay under zero model", rank)
+		}
+	}
+}
+
+// TestDynamicMasterWorker is the workload wildcard receives exist
+// for: the master hands the next task to whichever worker finishes
+// first (unlike the static round-robin of workloads.MasterWorker).
+func TestDynamicMasterWorker(t *testing.T) {
+	// Deterministic dynamic farm: work = tag-1 payload >0; stop = tag-1
+	// payload 0 (recognizable by the Recv return value).
+	const tasks = 12
+	mustRun(t, Config{Machine: quiet(4)}, func(r *Rank) error {
+		workers := r.Size() - 1
+		if r.Rank() == 0 {
+			next, done := 0, 0
+			for w := 1; w <= workers && next < tasks; w++ {
+				r.Send(w, 1, 1024)
+				next++
+			}
+			stopped := 0
+			for stopped < workers {
+				src, _ := r.RecvAny(2)
+				done++
+				if next < tasks {
+					r.Send(src, 1, 1024)
+					next++
+				} else {
+					r.Send(src, 1, 0)
+					stopped++
+				}
+			}
+			return nil
+		}
+		for {
+			n := r.Recv(0, 1)
+			if n == 0 {
+				return nil
+			}
+			r.Compute(int64(r.Rank()) * 7_000)
+			r.Send(0, 2, 64)
+		}
+	})
+}
+
+func TestRecvAnyOnSubCommunicator(t *testing.T) {
+	// Wildcard matching must scope to the communicator and return
+	// comm-relative ranks.
+	mustRun(t, Config{Machine: quiet(4)}, func(r *Rank) error {
+		sub := r.World().Split(r.Rank()%2, r.Rank())
+		if sub.Rank() == 0 {
+			src, n := sub.RecvAny(5)
+			if src != 1 {
+				t.Errorf("world %d: comm-relative source = %d, want 1", r.Rank(), src)
+			}
+			if n != int64(100+r.Rank()) {
+				t.Errorf("world %d: bytes = %d", r.Rank(), n)
+			}
+		} else {
+			// Send to comm rank 0 of my sub-communicator. Payload tags
+			// the parity group via the receiver's world rank.
+			sub.Send(0, 5, int64(100+r.Rank()%2))
+		}
+		return nil
+	})
+}

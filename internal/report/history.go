@@ -1,0 +1,90 @@
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"mpgraph/internal/core"
+)
+
+// HistoryEntry is one analysis run's archived summary — the "history
+// of analysis experiments" the paper's Section 7 calls for. Entries
+// append to a JSON-lines file so runs accumulate across invocations
+// and stay grep/jq-friendly.
+type HistoryEntry struct {
+	// Label is free-form (tool invocation, scenario name).
+	Label string `json:"label"`
+	// Traces identifies the analyzed trace set (a directory, usually).
+	Traces string `json:"traces,omitempty"`
+	// Model describes the perturbation model (distribution specs).
+	Model map[string]string `json:"model,omitempty"`
+	// Ranks and Events size the run.
+	Ranks  int   `json:"ranks"`
+	Events int64 `json:"events"`
+	// MaxDelay, MeanDelay and MakespanDelay are the headline results.
+	MaxDelay      float64 `json:"max_delay"`
+	MeanDelay     float64 `json:"mean_delay"`
+	MakespanDelay float64 `json:"makespan_delay"`
+	// Warnings carries the analysis caveats.
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// NewHistoryEntry summarizes an analysis result.
+func NewHistoryEntry(label, traces string, model map[string]string, res *core.Result) HistoryEntry {
+	return HistoryEntry{
+		Label:         label,
+		Traces:        traces,
+		Model:         model,
+		Ranks:         res.NRanks,
+		Events:        res.Events,
+		MaxDelay:      res.MaxFinalDelay,
+		MeanDelay:     res.MeanFinalDelay,
+		MakespanDelay: res.MakespanDelay,
+		Warnings:      res.Warnings,
+	}
+}
+
+// AppendHistory appends the entry to a JSON-lines file, creating it if
+// needed.
+func AppendHistory(path string, e HistoryEntry) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //nolint:errcheck
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadHistory reads all entries from a JSON-lines history file.
+func LoadHistory(path string) ([]HistoryEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //nolint:errcheck
+	var out []HistoryEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e HistoryEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("report: %s line %d: %w", path, line, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,211 @@
+// Package report renders analysis results and experiment sweeps as
+// aligned text tables or CSV, the output layer shared by the command
+// line tools and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mpgraph/internal/core"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	// Title is printed above the table when non-empty.
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with Cell.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = Cell(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Cell formats one value compactly: floats get %.3g-style trimming,
+// everything else uses fmt defaults.
+func Cell(v interface{}) string {
+	switch x := v.(type) {
+	case float64:
+		return formatFloat(x)
+	case float32:
+		return formatFloat(float64(x))
+	case string:
+		return x
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+func formatFloat(x float64) string {
+	if x == float64(int64(x)) && x < 1e15 && x > -1e15 {
+		return strconv.FormatInt(int64(x), 10)
+	}
+	return strconv.FormatFloat(x, 'g', 6, 64)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Markdown writes the table as a GitHub-flavored markdown table (the
+// format EXPERIMENTS.md embeds).
+func (t *Table) Markdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	row := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	row(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	row(sep)
+	for _, r := range t.rows {
+		row(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values (quoting cells that
+// need it).
+func (t *Table) CSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Analysis renders a core.Result: the per-run summary, per-rank rows
+// (up to maxRanks, 0 = all), per-region rows when markers were used,
+// and any warnings.
+func Analysis(w io.Writer, res *core.Result, maxRanks int) error {
+	fmt.Fprintf(w, "ranks=%d events=%d window-high-water=%d\n",
+		res.NRanks, res.Events, res.WindowHighWater)
+	fmt.Fprintf(w, "final delay: max=%.0f mean=%.0f makespan-delay=%.0f cycles\n",
+		res.MaxFinalDelay, res.MeanFinalDelay, res.MakespanDelay)
+	fmt.Fprintf(w, "subevent delay: %s\n", delayLine(res))
+
+	tbl := NewTable("per-rank", "rank", "events", "final-delay", "own-noise",
+		"remote-noise", "msg-delta", "absorbed", "propagated")
+	n := len(res.Ranks)
+	if maxRanks > 0 && maxRanks < n {
+		n = maxRanks
+	}
+	for rank := 0; rank < n; rank++ {
+		rr := res.Ranks[rank]
+		tbl.AddRow(rank, rr.Events, rr.FinalDelay,
+			rr.Attr.OwnNoise, rr.Attr.RemoteNoise, rr.Attr.MsgDelta,
+			rr.Absorbed, rr.Propagated)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	if n < len(res.Ranks) {
+		fmt.Fprintf(w, "... (%d more ranks)\n", len(res.Ranks)-n)
+	}
+
+	if keys := res.RegionList(); len(keys) > len(res.Ranks) {
+		// More regions than the implicit one per rank: markers in use.
+		reg := NewTable("per-region", "rank", "region", "events", "absorbed",
+			"propagated", "delay-growth")
+		for _, k := range keys {
+			s := res.Regions[k]
+			reg.AddRow(k.Rank, k.Region, s.Events, s.Absorbed, s.Propagated, s.DelayGrowth)
+		}
+		if err := reg.Render(w); err != nil {
+			return err
+		}
+	}
+
+	for _, warn := range res.Warnings {
+		fmt.Fprintf(w, "WARNING: %s\n", warn)
+	}
+	if res.OrderViolations > 0 {
+		fmt.Fprintf(w, "order violations clamped: %d\n", res.OrderViolations)
+	}
+	return nil
+}
+
+func delayLine(res *core.Result) string {
+	return fmt.Sprintf("n=%d mean=%.1f sd=%.1f max=%.1f",
+		res.DelayStats.N(), res.DelayStats.Mean(), res.DelayStats.StdDev(), res.DelayStats.Max())
+}

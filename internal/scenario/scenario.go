@@ -1,0 +1,139 @@
+// Package scenario loads perturbation scenarios from JSON files: a
+// named, persistable bundle of model parameters (the "richer set of
+// parameters to the simulation" of the paper's Section 7). A scenario
+// file keeps what-if studies reproducible and shareable:
+//
+//	{
+//	  "name": "noisy-shared-node",
+//	  "os_noise": "spike:0.01,exponential:20000",
+//	  "rank_os_noise": {"5": "constant:50000"},
+//	  "noise_quantum": 100000,
+//	  "latency": "exponential:300",
+//	  "per_byte": "constant:0.01",
+//	  "propagation": "additive",
+//	  "collectives": "approx",
+//	  "collective_bytes": true,
+//	  "allow_negative": false,
+//	  "seed": 7
+//	}
+//
+// Distribution values use the internal/dist spec syntax. All fields
+// are optional; omitted ones inject nothing / use defaults.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+
+	"mpgraph/internal/core"
+	"mpgraph/internal/dist"
+)
+
+// File is the JSON shape of a scenario.
+type File struct {
+	Name            string            `json:"name,omitempty"`
+	OSNoise         string            `json:"os_noise,omitempty"`
+	RankOSNoise     map[string]string `json:"rank_os_noise,omitempty"`
+	NoiseQuantum    int64             `json:"noise_quantum,omitempty"`
+	Latency         string            `json:"latency,omitempty"`
+	PerByte         string            `json:"per_byte,omitempty"`
+	Propagation     string            `json:"propagation,omitempty"`
+	Collectives     string            `json:"collectives,omitempty"`
+	CollectiveBytes bool              `json:"collective_bytes,omitempty"`
+	AllowNegative   bool              `json:"allow_negative,omitempty"`
+	Seed            uint64            `json:"seed,omitempty"`
+}
+
+// Load reads and compiles a scenario file into a perturbation model.
+func Load(path string) (*core.Model, *File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	m, err := f.Model()
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return m, &f, nil
+}
+
+// Model compiles the scenario into a core.Model.
+func (f *File) Model() (*core.Model, error) {
+	m := &core.Model{
+		Seed:            f.Seed,
+		NoiseQuantum:    f.NoiseQuantum,
+		CollectiveBytes: f.CollectiveBytes,
+		AllowNegative:   f.AllowNegative,
+	}
+	var err error
+	if m.OSNoise, err = optDist(f.OSNoise); err != nil {
+		return nil, fmt.Errorf("os_noise: %w", err)
+	}
+	if m.MsgLatency, err = optDist(f.Latency); err != nil {
+		return nil, fmt.Errorf("latency: %w", err)
+	}
+	if m.PerByte, err = optDist(f.PerByte); err != nil {
+		return nil, fmt.Errorf("per_byte: %w", err)
+	}
+	if len(f.RankOSNoise) > 0 {
+		maxRank := -1
+		parsed := map[int]dist.Distribution{}
+		for key, spec := range f.RankOSNoise {
+			rank, err := strconv.Atoi(key)
+			if err != nil || rank < 0 {
+				return nil, fmt.Errorf("rank_os_noise: bad rank key %q", key)
+			}
+			d, err := dist.Parse(spec)
+			if err != nil {
+				return nil, fmt.Errorf("rank_os_noise[%s]: %w", key, err)
+			}
+			parsed[rank] = d
+			if rank > maxRank {
+				maxRank = rank
+			}
+		}
+		m.RankOSNoise = make([]dist.Distribution, maxRank+1)
+		for rank, d := range parsed {
+			m.RankOSNoise[rank] = d
+		}
+	}
+	switch f.Propagation {
+	case "", "additive":
+		m.Propagation = core.PropagationAdditive
+	case "anchored":
+		m.Propagation = core.PropagationAnchored
+	default:
+		return nil, fmt.Errorf("propagation: unknown mode %q", f.Propagation)
+	}
+	switch f.Collectives {
+	case "", "approx":
+		m.Collectives = core.CollectiveApprox
+	case "explicit":
+		m.Collectives = core.CollectiveExplicit
+	default:
+		return nil, fmt.Errorf("collectives: unknown mode %q", f.Collectives)
+	}
+	return m, nil
+}
+
+// Save writes the scenario as indented JSON.
+func (f *File) Save(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func optDist(spec string) (dist.Distribution, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	return dist.Parse(spec)
+}

@@ -1,0 +1,110 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpgraph/internal/core"
+)
+
+func writeScenario(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadFull(t *testing.T) {
+	path := writeScenario(t, `{
+	  "name": "noisy",
+	  "os_noise": "exponential:200",
+	  "rank_os_noise": {"5": "constant:50000", "2": "constant:100"},
+	  "noise_quantum": 100000,
+	  "latency": "spike:0.01,constant:5000",
+	  "per_byte": "constant:0.01",
+	  "propagation": "anchored",
+	  "collectives": "explicit",
+	  "collective_bytes": true,
+	  "allow_negative": true,
+	  "seed": 7
+	}`)
+	m, f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "noisy" || m.Seed != 7 || m.NoiseQuantum != 100000 {
+		t.Fatalf("scenario = %+v model = %+v", f, m)
+	}
+	if m.OSNoise == nil || m.MsgLatency == nil || m.PerByte == nil {
+		t.Fatal("distributions missing")
+	}
+	if m.Propagation != core.PropagationAnchored || m.Collectives != core.CollectiveExplicit {
+		t.Fatalf("modes: %+v", m)
+	}
+	if !m.CollectiveBytes || !m.AllowNegative {
+		t.Fatal("booleans lost")
+	}
+	if len(m.RankOSNoise) != 6 || m.RankOSNoise[5] == nil || m.RankOSNoise[2] == nil {
+		t.Fatalf("rank noise: %v", m.RankOSNoise)
+	}
+	if m.RankOSNoise[0] != nil || m.RankOSNoise[3] != nil {
+		t.Fatal("unspecified ranks should be nil")
+	}
+}
+
+func TestLoadMinimal(t *testing.T) {
+	m, _, err := Load(writeScenario(t, `{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Zero() {
+		t.Fatal("empty scenario should inject nothing")
+	}
+	if m.Propagation != core.PropagationAdditive || m.Collectives != core.CollectiveApprox {
+		t.Fatal("defaults wrong")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":        `{`,
+		"bad dist":        `{"os_noise": "wat"}`,
+		"bad latency":     `{"latency": "x:y"}`,
+		"bad per byte":    `{"per_byte": "?"}`,
+		"bad rank key":    `{"rank_os_noise": {"x": "constant:1"}}`,
+		"negative rank":   `{"rank_os_noise": {"-1": "constant:1"}}`,
+		"bad rank dist":   `{"rank_os_noise": {"0": "zzz"}}`,
+		"bad propagation": `{"propagation": "diagonal"}`,
+		"bad collectives": `{"collectives": "psychic"}`,
+	}
+	for name, body := range cases {
+		if _, _, err := Load(writeScenario(t, body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSaveRoundTrip(t *testing.T) {
+	f := &File{
+		Name:    "rt",
+		OSNoise: "constant:10",
+		Seed:    3,
+	}
+	path := filepath.Join(t.TempDir(), "rt.json")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m, got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "rt" || got.OSNoise != "constant:10" || m.Seed != 3 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}

@@ -1,0 +1,155 @@
+// Package sweep runs perturbation parameter sweeps: trace a workload
+// once per point, analyze under a model derived from the swept value,
+// and collect the delay series plus its linear fit — the programmatic
+// form of the paper's Section 6.1 protocol, shared by the mpg-sweep
+// tool, the benchmark harness, and the examples.
+package sweep
+
+import (
+	"fmt"
+
+	"mpgraph/internal/core"
+	"mpgraph/internal/dist"
+	"mpgraph/internal/machine"
+	"mpgraph/internal/mpi"
+	"mpgraph/internal/workloads"
+)
+
+// Param selects which perturbation parameter the sweep varies.
+type Param uint8
+
+const (
+	// ParamLatency sweeps a constant per-message-edge delta (the
+	// paper's §6.1 axis).
+	ParamLatency Param = iota
+	// ParamNoise sweeps a constant per-local-edge delta.
+	ParamNoise
+	// ParamPerByte sweeps a constant per-byte message delta.
+	ParamPerByte
+	// ParamRanks sweeps the world size with a fixed exponential noise
+	// model (scaling studies).
+	ParamRanks
+)
+
+// String returns the parameter name.
+func (p Param) String() string {
+	switch p {
+	case ParamLatency:
+		return "latency"
+	case ParamNoise:
+		return "noise"
+	case ParamPerByte:
+		return "perbyte"
+	case ParamRanks:
+		return "ranks"
+	}
+	return fmt.Sprintf("param(%d)", uint8(p))
+}
+
+// ParseParam resolves a parameter name.
+func ParseParam(name string) (Param, error) {
+	switch name {
+	case "latency", "":
+		return ParamLatency, nil
+	case "noise":
+		return ParamNoise, nil
+	case "perbyte":
+		return ParamPerByte, nil
+	case "ranks":
+		return ParamRanks, nil
+	}
+	return ParamLatency, fmt.Errorf("sweep: unknown parameter %q (latency, noise, perbyte, ranks)", name)
+}
+
+// Config describes a sweep.
+type Config struct {
+	// Workload is the registered workload name.
+	Workload string
+	// WorkloadOptions parameterize it.
+	WorkloadOptions workloads.Options
+	// Machine is the tracing platform (NRanks is overridden per point
+	// for ParamRanks).
+	Machine machine.Config
+	// Param is the swept axis.
+	Param Param
+	// From, To, Step define the inclusive sweep range.
+	From, To, Step float64
+	// NoiseMean is the fixed exponential noise mean used by ParamRanks.
+	NoiseMean float64
+	// ModelSeed seeds perturbation sampling.
+	ModelSeed uint64
+	// Analyze tunes the analyzer.
+	Analyze core.Options
+}
+
+// Point is one sweep observation.
+type Point struct {
+	// Value is the swept parameter's value.
+	Value float64
+	// Result is the full analysis outcome.
+	Result *core.Result
+}
+
+// Result is a completed sweep.
+type Result struct {
+	// Param echoes the swept axis.
+	Param Param
+	// Points holds the observations in sweep order.
+	Points []Point
+	// Fit is the linear fit of MaxFinalDelay against Value (zero when
+	// fewer than two points or constant x).
+	Fit dist.LinearFit
+	// HasFit reports whether Fit is meaningful.
+	HasFit bool
+}
+
+// Run executes the sweep.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Step <= 0 || cfg.To < cfg.From {
+		return nil, fmt.Errorf("sweep: invalid range [%g,%g] step %g", cfg.From, cfg.To, cfg.Step)
+	}
+	prog, err := workloads.BuildByName(cfg.Workload, cfg.WorkloadOptions)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Param: cfg.Param}
+	var xs, ys []float64
+	for v := cfg.From; v <= cfg.To+1e-9; v += cfg.Step {
+		model := &core.Model{Seed: cfg.ModelSeed}
+		mcfg := cfg.Machine
+		switch cfg.Param {
+		case ParamLatency:
+			model.MsgLatency = dist.Constant{C: v}
+		case ParamNoise:
+			model.OSNoise = dist.Constant{C: v}
+		case ParamPerByte:
+			model.PerByte = dist.Constant{C: v}
+		case ParamRanks:
+			if v < 1 {
+				return nil, fmt.Errorf("sweep: ranks value %g < 1", v)
+			}
+			mcfg.NRanks = int(v)
+			model.OSNoise = dist.Exponential{MeanValue: cfg.NoiseMean}
+		}
+		run, err := mpi.Run(mpi.Config{Machine: mcfg}, prog)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: value %g: %w", v, err)
+		}
+		set, err := run.TraceSet()
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Analyze(set, model, cfg.Analyze)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: value %g: %w", v, err)
+		}
+		out.Points = append(out.Points, Point{Value: v, Result: res})
+		xs = append(xs, v)
+		ys = append(ys, res.MaxFinalDelay)
+	}
+	if len(xs) >= 2 && xs[0] != xs[len(xs)-1] {
+		out.Fit = dist.FitLinear(xs, ys)
+		out.HasFit = true
+	}
+	return out, nil
+}

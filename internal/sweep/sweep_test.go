@@ -1,0 +1,129 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"mpgraph/internal/machine"
+	"mpgraph/internal/workloads"
+)
+
+func TestParseParam(t *testing.T) {
+	for name, want := range map[string]Param{
+		"":        ParamLatency,
+		"latency": ParamLatency,
+		"noise":   ParamNoise,
+		"perbyte": ParamPerByte,
+		"ranks":   ParamRanks,
+	} {
+		got, err := ParseParam(name)
+		if err != nil || got != want {
+			t.Errorf("ParseParam(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseParam("entropy"); err == nil {
+		t.Error("unknown param accepted")
+	}
+}
+
+func TestParamStrings(t *testing.T) {
+	for p, want := range map[Param]string{
+		ParamLatency: "latency", ParamNoise: "noise",
+		ParamPerByte: "perbyte", ParamRanks: "ranks",
+		Param(9): "param(9)",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q", p, got)
+		}
+	}
+}
+
+func TestLatencySweepSec61Shape(t *testing.T) {
+	res, err := Run(Config{
+		Workload:        "tokenring",
+		WorkloadOptions: workloads.Options{Iterations: 5},
+		Machine:         machine.Config{NRanks: 8, Seed: 1},
+		Param:           ParamLatency,
+		From:            0, To: 400, Step: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if !res.HasFit || res.Fit.R2 < 0.999 {
+		t.Fatalf("fit = %+v", res.Fit)
+	}
+	// §6.1 slope ~ traversals × p = 40 (within the ack-path factor).
+	if res.Fit.Slope < 40 || res.Fit.Slope > 100 {
+		t.Fatalf("slope = %g", res.Fit.Slope)
+	}
+	if res.Points[0].Result.MaxFinalDelay != 0 {
+		t.Fatal("zero perturbation should give zero delay")
+	}
+}
+
+func TestNoiseAndPerByteSweeps(t *testing.T) {
+	for _, p := range []Param{ParamNoise, ParamPerByte} {
+		res, err := Run(Config{
+			Workload:        "cg",
+			WorkloadOptions: workloads.Options{Iterations: 3},
+			Machine:         machine.Config{NRanks: 4, Seed: 2},
+			Param:           p,
+			From:            0, To: 2, Step: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		last := res.Points[len(res.Points)-1].Result.MaxFinalDelay
+		if last <= 0 {
+			t.Fatalf("%s: no delay at the top of the sweep", p)
+		}
+	}
+}
+
+func TestRanksSweep(t *testing.T) {
+	res, err := Run(Config{
+		Workload:        "bsp",
+		WorkloadOptions: workloads.Options{Iterations: 3},
+		Machine:         machine.Config{NRanks: 2, Seed: 3},
+		Param:           ParamRanks,
+		From:            2, To: 8, Step: 3,
+		NoiseMean: 200,
+		ModelSeed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Collective-heavy code: more ranks amplify the same noise model.
+	if res.Points[2].Result.MaxFinalDelay <= res.Points[0].Result.MaxFinalDelay {
+		t.Fatalf("noise amplification did not grow with ranks: %g vs %g",
+			res.Points[2].Result.MaxFinalDelay, res.Points[0].Result.MaxFinalDelay)
+	}
+	// Each point used its own rank count.
+	if res.Points[0].Result.NRanks != 2 || res.Points[2].Result.NRanks != 8 {
+		t.Fatal("rank counts not applied per point")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Config{Workload: "tokenring", From: 1, To: 0, Step: 1}); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := Run(Config{Workload: "tokenring", Step: 0}); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, err := Run(Config{Workload: "nope", From: 0, To: 1, Step: 1,
+		Machine: machine.Config{NRanks: 2}}); err == nil ||
+		!strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("unknown workload accepted: %v", err)
+	}
+	if _, err := Run(Config{Workload: "tokenring", Param: ParamRanks,
+		From: 0, To: 1, Step: 1, Machine: machine.Config{NRanks: 2}}); err == nil {
+		t.Fatal("ranks < 1 accepted")
+	}
+}

@@ -1,0 +1,537 @@
+// Package workloads provides the parallel application kernels used to
+// generate traces: the paper's token-ring n-body study (Section 6.1)
+// plus the communication patterns its methodology targets — halo
+// exchanges, collective-heavy solvers, master/worker farms, pipelines,
+// and irregular traffic. Each workload is an mpi.Program; all are
+// deterministic given their options.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"mpgraph/internal/dist"
+	"mpgraph/internal/mpi"
+)
+
+// Options are the common knobs shared by all workloads; each workload
+// documents which fields it uses.
+type Options struct {
+	// Iterations is the outer iteration count (ring traversals, solver
+	// steps, pipeline stages, ...).
+	Iterations int
+	// Bytes is the payload size of the workload's principal messages.
+	Bytes int64
+	// Compute is the per-iteration computation in cycles (scaled by
+	// each workload's own logic).
+	Compute int64
+	// CollEvery inserts a collective every CollEvery iterations where
+	// the workload supports it (0 disables).
+	CollEvery int
+	// Tasks is the total task count for master/worker.
+	Tasks int
+	// Seed drives workload-internal randomness (e.g. random pairs).
+	Seed uint64
+}
+
+// withDefaults fills zero fields from d.
+func (o Options) withDefaults(d Options) Options {
+	if o.Iterations == 0 {
+		o.Iterations = d.Iterations
+	}
+	if o.Bytes == 0 {
+		o.Bytes = d.Bytes
+	}
+	if o.Compute == 0 {
+		o.Compute = d.Compute
+	}
+	if o.CollEvery == 0 {
+		o.CollEvery = d.CollEvery
+	}
+	if o.Tasks == 0 {
+		o.Tasks = d.Tasks
+	}
+	return o
+}
+
+// Workload couples a named builder with its defaults.
+type Workload struct {
+	// Name is the registry key.
+	Name string
+	// Description is a one-line summary for tool listings.
+	Description string
+	// Defaults seed unset Options fields.
+	Defaults Options
+	// Build constructs the program for the given options.
+	Build func(Options) mpi.Program
+}
+
+var registry = map[string]Workload{}
+
+func register(w Workload) { registry[w.Name] = w }
+
+// Get looks up a workload by name.
+func Get(name string) (Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
+
+// Names lists the registered workloads alphabetically.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildByName resolves name and builds its program with opts layered
+// over the workload's defaults.
+func BuildByName(name string, opts Options) (mpi.Program, error) {
+	w, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	return w.Build(opts.withDefaults(w.Defaults)), nil
+}
+
+func init() {
+	register(Workload{
+		Name:        "tokenring",
+		Description: "paper §6.1: direct n-body via a token passed around the ring",
+		Defaults:    Options{Iterations: 10, Bytes: 4096, Compute: 20_000},
+		Build:       TokenRing,
+	})
+	register(Workload{
+		Name:        "stencil1d",
+		Description: "1-D halo exchange with nonblocking sends and periodic residual allreduce",
+		Defaults:    Options{Iterations: 20, Bytes: 8192, Compute: 50_000, CollEvery: 5},
+		Build:       Stencil1D,
+	})
+	register(Workload{
+		Name:        "stencil2d",
+		Description: "2-D 4-neighbor halo exchange on the largest square process grid",
+		Defaults:    Options{Iterations: 10, Bytes: 4096, Compute: 80_000},
+		Build:       Stencil2D,
+	})
+	register(Workload{
+		Name:        "cg",
+		Description: "conjugate-gradient-like iteration: halo exchange plus two dot-product allreduces",
+		Defaults:    Options{Iterations: 25, Bytes: 8192, Compute: 60_000},
+		Build:       CGLike,
+	})
+	register(Workload{
+		Name:        "masterworker",
+		Description: "rank 0 farms self-describing tasks to workers until exhaustion",
+		Defaults:    Options{Tasks: 64, Bytes: 2048, Compute: 100_000},
+		Build:       MasterWorker,
+	})
+	register(Workload{
+		Name:        "pipeline",
+		Description: "wavefront pipeline: each stage receives, computes, and forwards",
+		Defaults:    Options{Iterations: 16, Bytes: 4096, Compute: 30_000},
+		Build:       Pipeline,
+	})
+	register(Workload{
+		Name:        "butterfly",
+		Description: "explicit hypercube (butterfly) exchanges, power-of-two ranks only",
+		Defaults:    Options{Iterations: 8, Bytes: 1024, Compute: 10_000},
+		Build:       Butterfly,
+	})
+	register(Workload{
+		Name:        "randompairs",
+		Description: "random permutation pairwise exchanges each round (irregular traffic)",
+		Defaults:    Options{Iterations: 12, Bytes: 2048, Compute: 15_000},
+		Build:       RandomPairs,
+	})
+	register(Workload{
+		Name:        "bsp",
+		Description: "bulk-synchronous rounds: compute, alltoall, barrier",
+		Defaults:    Options{Iterations: 10, Bytes: 512, Compute: 40_000},
+		Build:       BSP,
+	})
+	register(Workload{
+		Name:        "dynfarm",
+		Description: "dynamic master/worker: tasks go to whichever worker finishes first (wildcard receives)",
+		Defaults:    Options{Tasks: 64, Bytes: 2048, Compute: 100_000},
+		Build:       DynFarm,
+	})
+	register(Workload{
+		Name:        "wavefront",
+		Description: "Sweep3D-style diagonal wavefronts over a 2-D process grid",
+		Defaults:    Options{Iterations: 4, Bytes: 2048, Compute: 25_000},
+		Build:       Wavefront,
+	})
+}
+
+// TokenRing is the paper's Section 6.1 workload. Direct O(n²) n-body
+// interaction: each rank owns a particle block; a token carrying one
+// block circulates the ring Iterations times; on each hop a rank
+// computes the interactions between its block and the token (Compute
+// cycles) before forwarding. Rank 0 seeds the token (send first);
+// everyone else receives first, exactly as in a textbook ring.
+func TokenRing(o Options) mpi.Program {
+	return func(r *mpi.Rank) error {
+		if r.Size() == 1 {
+			for k := 0; k < o.Iterations; k++ {
+				r.Compute(o.Compute)
+			}
+			return nil
+		}
+		next := (r.Rank() + 1) % r.Size()
+		prev := (r.Rank() + r.Size() - 1) % r.Size()
+		r.Marker(1)
+		for k := 0; k < o.Iterations; k++ {
+			r.Compute(o.Compute)
+			if r.Rank() == 0 {
+				r.Send(next, 0, o.Bytes)
+				r.Recv(prev, 0)
+			} else {
+				r.Recv(prev, 0)
+				r.Send(next, 0, o.Bytes)
+			}
+		}
+		r.Marker(2)
+		return nil
+	}
+}
+
+// Stencil1D is a classic 1-D Jacobi-style halo exchange: nonblocking
+// ghost-cell exchange with both neighbors, interior compute overlapped
+// before the waits, plus a residual Allreduce every CollEvery
+// iterations.
+func Stencil1D(o Options) mpi.Program {
+	return func(r *mpi.Rank) error {
+		left, right := r.Rank()-1, r.Rank()+1
+		for k := 0; k < o.Iterations; k++ {
+			var reqs []*mpi.Request
+			if left >= 0 {
+				reqs = append(reqs, r.Isend(left, 0, o.Bytes), r.Irecv(left, 1))
+			}
+			if right < r.Size() {
+				reqs = append(reqs, r.Isend(right, 1, o.Bytes), r.Irecv(right, 0))
+			}
+			r.Compute(o.Compute) // interior overlap
+			if len(reqs) > 0 {
+				r.Waitall(reqs...)
+			}
+			r.Compute(o.Compute / 4) // boundary points
+			if o.CollEvery > 0 && (k+1)%o.CollEvery == 0 {
+				r.Allreduce(8)
+			}
+		}
+		return nil
+	}
+}
+
+// grid2d returns the largest pv×ph decomposition with pv*ph <= p and
+// pv as close to sqrt(p) as possible.
+func grid2d(p int) (pv, ph int) {
+	pv = 1
+	for i := 1; i*i <= p; i++ {
+		if p%i == 0 {
+			pv = i
+		}
+	}
+	return pv, p / pv
+}
+
+// Stencil2D is a 2-D 4-neighbor halo exchange on a pv×ph process grid
+// (ranks outside the grid idle at the collectives). Exchanges use
+// Sendrecv per dimension.
+func Stencil2D(o Options) mpi.Program {
+	return func(r *mpi.Rank) error {
+		pv, ph := grid2d(r.Size())
+		inGrid := r.Rank() < pv*ph
+		row, col := r.Rank()/ph, r.Rank()%ph
+		for k := 0; k < o.Iterations; k++ {
+			if inGrid {
+				r.Compute(o.Compute)
+				// Horizontal exchange (periodic).
+				if ph > 1 {
+					rightN := row*ph + (col+1)%ph
+					leftN := row*ph + (col-1+ph)%ph
+					r.Sendrecv(rightN, 0, o.Bytes, leftN, 0)
+					r.Sendrecv(leftN, 1, o.Bytes, rightN, 1)
+				}
+				// Vertical exchange (periodic).
+				if pv > 1 {
+					downN := ((row+1)%pv)*ph + col
+					upN := ((row-1+pv)%pv)*ph + col
+					r.Sendrecv(downN, 2, o.Bytes, upN, 2)
+					r.Sendrecv(upN, 3, o.Bytes, downN, 3)
+				}
+			}
+			r.Barrier()
+		}
+		return nil
+	}
+}
+
+// CGLike mimics a conjugate-gradient iteration's communication: a
+// nonblocking halo exchange (the sparse matrix-vector product), then
+// two scalar Allreduces (the dot products), then an axpy-sized compute.
+func CGLike(o Options) mpi.Program {
+	const (
+		regionHalo = 1
+		regionDots = 2
+	)
+	return func(r *mpi.Rank) error {
+		left, right := r.Rank()-1, r.Rank()+1
+		for k := 0; k < o.Iterations; k++ {
+			r.Marker(regionHalo)
+			var reqs []*mpi.Request
+			if left >= 0 {
+				reqs = append(reqs, r.Isend(left, 0, o.Bytes), r.Irecv(left, 1))
+			}
+			if right < r.Size() {
+				reqs = append(reqs, r.Isend(right, 1, o.Bytes), r.Irecv(right, 0))
+			}
+			r.Compute(o.Compute)
+			if len(reqs) > 0 {
+				r.Waitall(reqs...)
+			}
+			r.Marker(regionDots)
+			r.Allreduce(8) // alpha
+			r.Compute(o.Compute / 2)
+			r.Allreduce(8) // beta
+		}
+		return nil
+	}
+}
+
+// MasterWorker has rank 0 farm out Tasks work units round-robin (the
+// runtime has no wildcard receives, so assignment is static: task t
+// goes to worker (t mod (p−1)) + 1). Workers compute Compute cycles
+// per task, skewed by task id, and return a small result; a final
+// stop message releases each worker. Task skew makes workers finish at
+// different times, giving the analyzer imbalance to chew on.
+func MasterWorker(o Options) mpi.Program {
+	const (
+		tagWork   = 1
+		tagResult = 2
+		tagStop   = 3
+	)
+	return func(r *mpi.Rank) error {
+		if r.Size() == 1 {
+			for i := 0; i < o.Tasks; i++ {
+				r.Compute(o.Compute)
+			}
+			return nil
+		}
+		workers := r.Size() - 1
+		if r.Rank() == 0 {
+			task := 0
+			for task < o.Tasks {
+				batch := 0
+				for w := 1; w <= workers && task < o.Tasks; w++ {
+					r.Send(w, tagWork, o.Bytes)
+					task++
+					batch++
+				}
+				for w := 1; w <= batch; w++ {
+					r.Recv(w, tagResult)
+				}
+			}
+			for w := 1; w <= workers; w++ {
+				r.Send(w, tagStop, 0)
+			}
+			return nil
+		}
+		// Worker: it knows its static share of the task ids.
+		for task := r.Rank() - 1; task < o.Tasks; task += workers {
+			r.Recv(0, tagWork)
+			r.Compute(o.Compute + int64(task%7)*o.Compute/8)
+			r.Send(0, tagResult, 64)
+		}
+		r.Recv(0, tagStop)
+		return nil
+	}
+}
+
+// DynFarm is the dynamic variant of MasterWorker: rank 0 assigns the
+// next task to whichever worker returns a result first, using
+// wildcard receives (MPI_ANY_SOURCE). Work arrives as a tag-1 message
+// with a positive payload; a zero payload tells the worker to stop.
+// Task durations are skewed by worker rank so completion order
+// genuinely interleaves.
+func DynFarm(o Options) mpi.Program {
+	const (
+		tagWork   = 1
+		tagResult = 2
+	)
+	return func(r *mpi.Rank) error {
+		if r.Size() == 1 {
+			for i := 0; i < o.Tasks; i++ {
+				r.Compute(o.Compute)
+			}
+			return nil
+		}
+		workers := r.Size() - 1
+		if r.Rank() == 0 {
+			next := 0
+			for w := 1; w <= workers && next < o.Tasks; w++ {
+				r.Send(w, tagWork, o.Bytes)
+				next++
+			}
+			primed := next
+			if primed == 0 {
+				return nil
+			}
+			stopped := 0
+			for stopped < primed {
+				src, _ := r.RecvAny(tagResult)
+				if next < o.Tasks {
+					r.Send(src, tagWork, o.Bytes)
+					next++
+				} else {
+					r.Send(src, tagWork, 0)
+					stopped++
+				}
+			}
+			// Workers never primed (more workers than tasks) idle until
+			// a zero-payload release.
+			for w := primed + 1; w <= workers; w++ {
+				r.Send(w, tagWork, 0)
+			}
+			return nil
+		}
+		for {
+			n := r.Recv(0, tagWork)
+			if n == 0 {
+				return nil
+			}
+			r.Compute(o.Compute + int64(r.Rank()%5)*o.Compute/4)
+			r.Send(0, tagResult, 64)
+		}
+	}
+}
+
+// Pipeline is a linear wavefront: stage 0 injects Iterations items;
+// every stage receives an item, computes on it, and forwards it.
+func Pipeline(o Options) mpi.Program {
+	return func(r *mpi.Rank) error {
+		last := r.Size() - 1
+		for k := 0; k < o.Iterations; k++ {
+			if r.Rank() > 0 {
+				r.Recv(r.Rank()-1, 0)
+			}
+			r.Compute(o.Compute)
+			if r.Rank() < last {
+				r.Send(r.Rank()+1, 0, o.Bytes)
+			}
+		}
+		return nil
+	}
+}
+
+// Butterfly performs explicit log2(p) hypercube exchanges per
+// iteration using Sendrecv — the pattern underlying Allreduce, written
+// out with point-to-point primitives. Requires a power-of-two size.
+func Butterfly(o Options) mpi.Program {
+	return func(r *mpi.Rank) error {
+		p := r.Size()
+		if p&(p-1) != 0 {
+			return fmt.Errorf("workloads: butterfly needs a power-of-two size, got %d", p)
+		}
+		for k := 0; k < o.Iterations; k++ {
+			r.Compute(o.Compute)
+			for bit := 1; bit < p; bit <<= 1 {
+				partner := r.Rank() ^ bit
+				r.Sendrecv(partner, bit, o.Bytes, partner, bit)
+			}
+		}
+		return nil
+	}
+}
+
+// RandomPairs exchanges with a random partner each round: every round
+// draws a deterministic random perfect matching (from Options.Seed) on
+// the even-sized prefix of ranks; the odd rank out idles.
+func RandomPairs(o Options) mpi.Program {
+	return func(r *mpi.Rank) error {
+		p := r.Size()
+		even := p - p%2
+		// Every rank derives the same per-round matchings from the seed.
+		rng := dist.NewRNG(o.Seed + 0x9e37)
+		for k := 0; k < o.Iterations; k++ {
+			perm := make([]int, even)
+			for i := range perm {
+				perm[i] = i
+			}
+			rng.Shuffle(even, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			r.Compute(o.Compute)
+			if r.Rank() < even {
+				var partner int
+				for i := 0; i < even; i += 2 {
+					if perm[i] == r.Rank() {
+						partner = perm[i+1]
+					}
+					if perm[i+1] == r.Rank() {
+						partner = perm[i]
+					}
+				}
+				r.Sendrecv(partner, k, o.Bytes, partner, k)
+			}
+			r.Barrier()
+		}
+		return nil
+	}
+}
+
+// Wavefront is a Sweep3D-style kernel: ranks form a 2-D grid; each
+// iteration performs four diagonal sweeps (one per corner). Within a
+// sweep, a rank receives upstream ghost data from its two upstream
+// neighbors, computes, and sends downstream — the canonical pipelined
+// dependence pattern of discrete-ordinates transport codes. Ranks
+// outside the grid idle at the final barrier.
+func Wavefront(o Options) mpi.Program {
+	type dir struct{ dr, dc int }
+	sweeps := []dir{{1, 1}, {1, -1}, {-1, 1}, {-1, -1}}
+	return func(r *mpi.Rank) error {
+		pv, ph := grid2d(r.Size())
+		inGrid := r.Rank() < pv*ph
+		row, col := r.Rank()/ph, r.Rank()%ph
+		at := func(rr, cc int) int { return rr*ph + cc }
+		for k := 0; k < o.Iterations; k++ {
+			if inGrid {
+				for si, sw := range sweeps {
+					tag := k*len(sweeps) + si
+					// Upstream neighbors: where the sweep comes from.
+					upR, upC := row-sw.dr, col-sw.dc
+					if upR >= 0 && upR < pv {
+						r.Recv(at(upR, col), tag)
+					}
+					if upC >= 0 && upC < ph {
+						r.Recv(at(row, upC), tag)
+					}
+					r.Compute(o.Compute)
+					// Downstream neighbors: where the sweep goes.
+					dnR, dnC := row+sw.dr, col+sw.dc
+					if dnR >= 0 && dnR < pv {
+						r.Send(at(dnR, col), tag, o.Bytes)
+					}
+					if dnC >= 0 && dnC < ph {
+						r.Send(at(row, dnC), tag, o.Bytes)
+					}
+				}
+			}
+			r.Barrier()
+		}
+		return nil
+	}
+}
+
+// BSP is a bulk-synchronous superstep loop: compute, alltoall,
+// barrier.
+func BSP(o Options) mpi.Program {
+	return func(r *mpi.Rank) error {
+		for k := 0; k < o.Iterations; k++ {
+			r.Compute(o.Compute)
+			r.Alltoall(o.Bytes)
+			r.Barrier()
+		}
+		return nil
+	}
+}

@@ -1,0 +1,277 @@
+package workloads
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mpgraph/internal/core"
+	"mpgraph/internal/dist"
+	"mpgraph/internal/machine"
+	"mpgraph/internal/mpi"
+	"mpgraph/internal/trace"
+)
+
+// runAndAnalyze traces a workload on a quiet machine and runs a
+// zero-model analysis; every workload must produce a self-consistent
+// trace with zero delays under the zero model.
+func runAndAnalyze(t *testing.T, name string, nranks int, opts Options) (*mpi.Result, *core.Result) {
+	t.Helper()
+	prog, err := BuildByName(name, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mpi.Run(mpi.Config{Machine: machine.Config{NRanks: nranks, Seed: 42}}, prog)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	set, err := res.TraceSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := core.Analyze(set, &core.Model{}, core.Options{})
+	if err != nil {
+		t.Fatalf("%s: analyze: %v", name, err)
+	}
+	for rank, rr := range out.Ranks {
+		if rr.FinalDelay != 0 {
+			t.Fatalf("%s: rank %d has delay %g under zero model", name, rank, rr.FinalDelay)
+		}
+	}
+	return res, out
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"bsp", "butterfly", "cg", "dynfarm", "masterworker",
+		"pipeline", "randompairs", "stencil1d", "stencil2d", "tokenring",
+		"wavefront"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, n := range want {
+		w, ok := Get(n)
+		if !ok || w.Build == nil || w.Description == "" {
+			t.Fatalf("workload %q incomplete", n)
+		}
+	}
+}
+
+func TestBuildByNameUnknown(t *testing.T) {
+	if _, err := BuildByName("nope", Options{}); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("unknown workload not rejected: %v", err)
+	}
+}
+
+func TestAllWorkloadsTraceAndAnalyze(t *testing.T) {
+	sizes := map[string]int{
+		"tokenring": 8, "stencil1d": 6, "stencil2d": 6, "cg": 5,
+		"masterworker": 5, "pipeline": 6, "butterfly": 8,
+		"randompairs": 7, "bsp": 6, "wavefront": 6, "dynfarm": 5,
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res, out := runAndAnalyze(t, name, sizes[name], Options{})
+			if res.Stats.Events == 0 || out.Events == 0 {
+				t.Fatal("no events recorded")
+			}
+		})
+	}
+}
+
+func TestWorkloadsOnSingleRank(t *testing.T) {
+	for _, name := range []string{"tokenring", "masterworker", "pipeline", "bsp", "cg", "stencil1d"} {
+		runAndAnalyze(t, name, 1, Options{Iterations: 3, Tasks: 5})
+	}
+}
+
+func TestTokenRingMessageCount(t *testing.T) {
+	const p, iters = 6, 4
+	res, _ := runAndAnalyze(t, "tokenring", p, Options{Iterations: iters})
+	// One message per rank per traversal.
+	if res.Stats.Messages != int64(p*iters) {
+		t.Fatalf("messages = %d, want %d", res.Stats.Messages, p*iters)
+	}
+}
+
+func TestTokenRingMarkers(t *testing.T) {
+	prog, _ := BuildByName("tokenring", Options{Iterations: 2})
+	res, err := mpi.Run(mpi.Config{Machine: machine.Config{NRanks: 3, Seed: 1}}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	markers := 0
+	for _, rec := range res.Traces[0].Records {
+		if rec.Kind == trace.KindMarker {
+			markers++
+		}
+	}
+	if markers != 2 {
+		t.Fatalf("markers = %d, want 2", markers)
+	}
+}
+
+func TestMasterWorkerTaskAccounting(t *testing.T) {
+	const p, tasks = 4, 10
+	res, _ := runAndAnalyze(t, "masterworker", p, Options{Tasks: tasks})
+	// Messages: tasks work + tasks results + (p-1) stops.
+	want := int64(tasks + tasks + (p - 1))
+	if res.Stats.Messages != want {
+		t.Fatalf("messages = %d, want %d", res.Stats.Messages, want)
+	}
+}
+
+func TestMasterWorkerMoreWorkersThanTasks(t *testing.T) {
+	runAndAnalyze(t, "masterworker", 8, Options{Tasks: 3})
+}
+
+func TestButterflyRequiresPowerOfTwo(t *testing.T) {
+	prog, _ := BuildByName("butterfly", Options{Iterations: 1})
+	_, err := mpi.Run(mpi.Config{Machine: machine.Config{NRanks: 6, Seed: 1}}, prog)
+	if err == nil || !strings.Contains(err.Error(), "power-of-two") {
+		t.Fatalf("butterfly accepted 6 ranks: %v", err)
+	}
+}
+
+func TestStencil1DCollectiveCadence(t *testing.T) {
+	prog, _ := BuildByName("stencil1d", Options{Iterations: 10, CollEvery: 2})
+	res, err := mpi.Run(mpi.Config{Machine: machine.Config{NRanks: 4, Seed: 1}}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Collectives != 5 {
+		t.Fatalf("collectives = %d, want 5", res.Stats.Collectives)
+	}
+}
+
+func TestStencil2DGridDecomposition(t *testing.T) {
+	for _, tc := range []struct{ p, pv, ph int }{
+		{1, 1, 1}, {2, 1, 2}, {4, 2, 2}, {6, 2, 3}, {12, 3, 4}, {7, 1, 7}, {16, 4, 4},
+	} {
+		pv, ph := grid2d(tc.p)
+		if pv != tc.pv || ph != tc.ph {
+			t.Errorf("grid2d(%d) = %d×%d, want %d×%d", tc.p, pv, ph, tc.pv, tc.ph)
+		}
+	}
+}
+
+func TestPipelineOrdering(t *testing.T) {
+	// The last stage cannot finish before (stages-1) hops plus its own
+	// compute have elapsed.
+	const p, iters = 5, 3
+	res, _ := runAndAnalyze(t, "pipeline", p, Options{Iterations: iters, Compute: 10_000})
+	if res.FinalGlobal[p-1] < int64(p)*10_000 {
+		t.Fatalf("last stage finished implausibly early: %d", res.FinalGlobal[p-1])
+	}
+	if res.Stats.Messages != int64((p-1)*iters) {
+		t.Fatalf("messages = %d", res.Stats.Messages)
+	}
+}
+
+func TestRandomPairsDeterministicAcrossSeeds(t *testing.T) {
+	run := func(seed uint64) int64 {
+		prog, _ := BuildByName("randompairs", Options{Iterations: 5, Seed: seed})
+		res, err := mpi.Run(mpi.Config{Machine: machine.Config{NRanks: 6, Seed: 9}}, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	if run(1) != run(1) {
+		t.Fatal("same seed produced different runs")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	w, _ := Get("tokenring")
+	o := Options{}.withDefaults(w.Defaults)
+	if o.Iterations != 10 || o.Bytes != 4096 {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	// Explicit values win.
+	o = Options{Iterations: 3}.withDefaults(w.Defaults)
+	if o.Iterations != 3 || o.Bytes != 4096 {
+		t.Fatalf("override lost: %+v", o)
+	}
+}
+
+func TestWorkloadNoiseSensitivityOrdering(t *testing.T) {
+	// Sanity cross-check of the methodology: under identical OS-noise
+	// models, the collective-free pipeline is *less* noise-amplifying
+	// than the allreduce-heavy cg workload (collectives globalize local
+	// noise, paper §3.2).
+	sense := func(name string, n int) float64 {
+		prog, err := BuildByName(name, Options{Iterations: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mpi.Run(mpi.Config{Machine: machine.Config{NRanks: n, Seed: 5}}, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := res.TraceSet()
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := &core.Model{Seed: 1, OSNoise: dist.Exponential{MeanValue: 100}}
+		out, err := core.Analyze(set, model, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Normalize by injected noise: amplification factor.
+		var injected float64
+		for _, rr := range out.Ranks {
+			injected += rr.InjectedLocal
+		}
+		return out.MeanFinalDelay * float64(n) / injected
+	}
+	cg := sense("cg", 8)
+	pipe := sense("pipeline", 8)
+	if cg <= pipe {
+		t.Fatalf("expected cg (%.3f) to amplify noise more than pipeline (%.3f)", cg, pipe)
+	}
+}
+
+func TestDynFarmEdgeCases(t *testing.T) {
+	// More workers than tasks; single rank; single task.
+	runAndAnalyze(t, "dynfarm", 8, Options{Tasks: 3})
+	runAndAnalyze(t, "dynfarm", 1, Options{Tasks: 4})
+	runAndAnalyze(t, "dynfarm", 3, Options{Tasks: 1})
+}
+
+func TestDynFarmBalancesBetterThanStatic(t *testing.T) {
+	// With skewed task costs, dynamic assignment finishes no later than
+	// the static round-robin farm.
+	run := func(name string) int64 {
+		prog, err := BuildByName(name, Options{Tasks: 30, Compute: 50_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mpi.Run(mpi.Config{Machine: machine.Config{NRanks: 5, Seed: 8}}, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	dyn := run("dynfarm")
+	static := run("masterworker")
+	if dyn > static*11/10 {
+		t.Fatalf("dynamic farm (%d) much slower than static (%d)", dyn, static)
+	}
+}
+
+func TestWavefrontGridSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6, 9, 12} {
+		runAndAnalyze(t, "wavefront", n, Options{Iterations: 2})
+	}
+}
+
+func TestWavefrontPipelines(t *testing.T) {
+	// The corner rank opposite the sweep origin finishes each sweep
+	// last; with a 3x3 grid and 1 iteration the makespan must exceed
+	// the pure compute time by the pipeline fill of 4 sweeps.
+	res, _ := runAndAnalyze(t, "wavefront", 9, Options{Iterations: 1, Compute: 50_000})
+	if res.Makespan < 4*50_000 {
+		t.Fatalf("wavefront makespan %d implausibly small", res.Makespan)
+	}
+}
