@@ -346,6 +346,44 @@ func memify(b *testing.B, set *trace.Set) []*trace.MemTrace {
 	return out
 }
 
+// sweepBenchConfig is the ≥32-point sweep behind the parallel-scaling
+// benchmarks: 32 latency values, each an independent trace + replay.
+func sweepBenchConfig(workers int) mpgraph.SweepConfig {
+	return mpgraph.SweepConfig{
+		Workload:        "tokenring",
+		WorkloadOptions: workloads.Options{Iterations: 5},
+		Machine:         machine.Config{NRanks: 16, Seed: 16},
+		Param:           mpgraph.SweepLatency,
+		From:            0, To: 775, Step: 25,
+		ModelSeed: 1,
+		Workers:   workers,
+	}
+}
+
+func runSweepBench(b *testing.B, workers int) {
+	b.Helper()
+	cfg := sweepBenchConfig(workers)
+	var res *mpgraph.SweepResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = mpgraph.Sweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Points)), "sweep-points")
+	b.ReportMetric(res.Fit.Slope, "slope-cycles-per-unit")
+}
+
+// BenchmarkSweepSerial is the single-worker reference for the replay
+// fan-out engine; the Parallel variants below must reproduce its
+// results bit-for-bit while scaling with the pool (≥3x at 8 workers on
+// an 8-core runner).
+func BenchmarkSweepSerial(b *testing.B)    { runSweepBench(b, 1) }
+func BenchmarkSweepParallel2(b *testing.B) { runSweepBench(b, 2) }
+func BenchmarkSweepParallel4(b *testing.B) { runSweepBench(b, 4) }
+func BenchmarkSweepParallel8(b *testing.B) { runSweepBench(b, 8) }
+
 // BenchmarkFacadePipeline measures the public API end to end, as a
 // downstream user would drive it.
 func BenchmarkFacadePipeline(b *testing.B) {

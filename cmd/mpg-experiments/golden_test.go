@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from serial (-workers 1) runs")
+
+// goldenCases pin the exact CLI output. The goldens are generated with
+// -workers 1; the tests replay each case with an 8-worker pool, so any
+// scheduling-dependent byte in the output is a failure.
+var goldenCases = []struct {
+	name string
+	args []string
+}{
+	{"fig2_quick", []string{"-quick", "-seed", "7", "-run", "fig2"}},
+	{"sec61_quick", []string{"-quick", "-seed", "7", "-run", "sec6.1"}},
+	{"abld_quick_md", []string{"-quick", "-seed", "7", "-run", "ablD", "-md"}},
+}
+
+func TestGoldenParallelMatchesSerial(t *testing.T) {
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				var buf bytes.Buffer
+				if err := run(append(tc.args, "-workers", "1"), &buf); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			for _, workers := range []string{"1", "8"} {
+				var buf bytes.Buffer
+				if err := run(append(tc.args, "-workers", workers), &buf); err != nil {
+					t.Fatalf("workers=%s: %v", workers, err)
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Fatalf("workers=%s output deviates from serial golden:\n--- got\n%s\n--- want\n%s",
+						workers, buf.Bytes(), want)
+				}
+			}
+		})
+	}
+}

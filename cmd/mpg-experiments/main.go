@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,16 +20,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mpg-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mpg-experiments", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "run reduced problem sizes")
 	seed := fs.Uint64("seed", 2006, "experiment seed")
+	workers := fs.Int("workers", 0, "replay worker pool size (0 = GOMAXPROCS); output is identical for any value")
 	only := fs.String("run", "", fmt.Sprintf("run a single experiment (%s)",
 		strings.Join(experiments.IDs(), ", ")))
 	dotOut := fs.String("dot", "", "write fig5's DOT artifact to this path")
@@ -37,7 +39,7 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 
 	var list []experiments.Experiment
 	if *only != "" {
@@ -53,18 +55,18 @@ func run(args []string) error {
 
 	failed := 0
 	for _, e := range list {
-		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
+		fmt.Fprintf(w, "=== %s — %s\n", e.ID, e.Title)
 		out, err := e.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		switch {
 		case *csv:
-			err = out.Table.CSV(os.Stdout)
+			err = out.Table.CSV(w)
 		case *md:
-			err = out.Table.Markdown(os.Stdout)
+			err = out.Table.Markdown(w)
 		default:
-			err = out.Table.Render(os.Stdout)
+			err = out.Table.Render(w)
 		}
 		if err != nil {
 			return err
@@ -74,12 +76,12 @@ func run(args []string) error {
 			status = "FAIL"
 			failed++
 		}
-		fmt.Printf("%s: %s\n\n", status, out.Verdict)
+		fmt.Fprintf(w, "%s: %s\n\n", status, out.Verdict)
 		if e.ID == "fig5" && *dotOut != "" {
 			if err := os.WriteFile(*dotOut, []byte(out.Extra), 0o644); err != nil {
 				return err
 			}
-			fmt.Printf("fig5 DOT written to %s\n\n", *dotOut)
+			fmt.Fprintf(w, "fig5 DOT written to %s\n\n", *dotOut)
 		}
 	}
 	if failed > 0 {

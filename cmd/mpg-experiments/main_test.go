@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,26 +9,26 @@ import (
 )
 
 func TestRunSingleQuick(t *testing.T) {
-	if err := run([]string{"-quick", "-run", "fig2"}); err != nil {
+	if err := run([]string{"-quick", "-run", "fig2"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllQuick(t *testing.T) {
-	if err := run([]string{"-quick"}); err != nil {
+	if err := run([]string{"-quick"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-run", "fig99"}); err == nil {
+	if err := run([]string{"-run", "fig99"}, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestDOTArtifactWritten(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "fig5.dot")
-	if err := run([]string{"-quick", "-run", "fig5", "-dot", path}); err != nil {
+	if err := run([]string{"-quick", "-run", "fig5", "-dot", path}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -40,13 +41,13 @@ func TestDOTArtifactWritten(t *testing.T) {
 }
 
 func TestCSVMode(t *testing.T) {
-	if err := run([]string{"-quick", "-run", "ablD", "-csv"}); err != nil {
+	if err := run([]string{"-quick", "-run", "ablD", "-csv"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestMarkdownMode(t *testing.T) {
-	if err := run([]string{"-quick", "-run", "fig2", "-md"}); err != nil {
+	if err := run([]string{"-quick", "-run", "fig2", "-md"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }

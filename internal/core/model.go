@@ -138,6 +138,26 @@ type Model struct {
 // edge; longer gaps extrapolate the sampled mean.
 const MaxNoiseSamplesPerEdge = 4096
 
+// Clone returns an independent copy of the model, for per-task model
+// instantiation in parallel replays: callers that vary a field (most
+// commonly Seed, one derived seed per Monte Carlo trial) must clone
+// first so concurrent replays never share a mutated Model. The
+// RankOSNoise slice is copied; the Distribution values themselves are
+// shared, which is safe because Distribution implementations are pure
+// (all randomness flows through the per-analysis RNG, never through
+// distribution-internal state). Clone of a nil model yields the zero
+// model.
+func (m *Model) Clone() *Model {
+	if m == nil {
+		return &Model{}
+	}
+	c := *m
+	if m.RankOSNoise != nil {
+		c.RankOSNoise = append([]dist.Distribution(nil), m.RankOSNoise...)
+	}
+	return &c
+}
+
 // Zero reports whether the model injects no perturbation at all.
 func (m *Model) Zero() bool {
 	for _, d := range m.RankOSNoise {

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"mpgraph/internal/dist"
+)
+
+func TestModelClone(t *testing.T) {
+	orig := &Model{
+		Seed:         1,
+		OSNoise:      dist.Exponential{MeanValue: 100},
+		RankOSNoise:  []dist.Distribution{nil, dist.Constant{C: 5}},
+		NoiseQuantum: 7,
+		MsgLatency:   dist.Constant{C: 2},
+		Propagation:  PropagationAnchored,
+		Collectives:  CollectiveExplicit,
+	}
+	c := orig.Clone()
+	if c == orig {
+		t.Fatal("Clone returned the receiver")
+	}
+	c.Seed = 99
+	c.RankOSNoise[0] = dist.Constant{C: 1}
+	if orig.Seed != 1 || orig.RankOSNoise[0] != nil {
+		t.Fatal("mutating the clone leaked into the original")
+	}
+	if c.Propagation != PropagationAnchored || c.Collectives != CollectiveExplicit {
+		t.Fatal("scalar fields not copied")
+	}
+	if c.MsgLatency != orig.MsgLatency {
+		t.Fatal("distribution values should be shared (they are pure)")
+	}
+}
+
+func TestModelCloneNil(t *testing.T) {
+	var m *Model
+	c := m.Clone()
+	if c == nil || !c.Zero() {
+		t.Fatalf("nil.Clone() = %+v", c)
+	}
+}

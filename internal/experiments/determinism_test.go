@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderOutcome folds everything an experiment reports — the rendered
+// table, verdict, pass flag, and extra artifacts — into one comparable
+// string.
+func renderOutcome(t *testing.T, out *Outcome) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(out.ID + "\n" + out.Title + "\n")
+	if out.Table != nil {
+		if err := out.Table.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.WriteString(out.Verdict + "\n")
+	if out.Pass {
+		b.WriteString("PASS\n")
+	} else {
+		b.WriteString("FAIL\n")
+	}
+	b.WriteString(out.Extra)
+	return b.String()
+}
+
+// TestExperimentsDeterministicAcrossWorkers runs every registered
+// experiment serially and with an 8-worker pool across several seeds:
+// rendered tables, verdicts, and artifacts must be byte-identical,
+// because every replay's randomness derives from (seed, grid point),
+// never from scheduling.
+func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			for _, seed := range []uint64{1, 7, 2006} {
+				serial, err := e.Run(Config{Quick: true, Seed: seed, Workers: 1})
+				if err != nil {
+					t.Fatalf("seed=%d serial: %v", seed, err)
+				}
+				par, err := e.Run(Config{Quick: true, Seed: seed, Workers: 8})
+				if err != nil {
+					t.Fatalf("seed=%d parallel: %v", seed, err)
+				}
+				a, b := renderOutcome(t, serial), renderOutcome(t, par)
+				if a != b {
+					t.Fatalf("seed=%d: workers=1 and workers=8 diverge:\n--- serial\n%s\n--- parallel\n%s",
+						seed, a, b)
+				}
+			}
+		})
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"mpgraph/internal/machine"
 	"mpgraph/internal/microbench"
 	"mpgraph/internal/mpi"
+	"mpgraph/internal/parallel"
 	"mpgraph/internal/report"
 	"mpgraph/internal/trace"
 	"mpgraph/internal/workloads"
@@ -31,6 +32,12 @@ type Config struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds the replay worker pool used by the grid-shaped
+	// experiments; zero or negative means GOMAXPROCS. Tables and
+	// verdicts are identical for every pool size: every replay is
+	// seeded from Config.Seed and the grid point alone, and rows are
+	// assembled in grid order after collection.
+	Workers int
 }
 
 func (c Config) pick(full, quick int) int {
@@ -39,6 +46,9 @@ func (c Config) pick(full, quick int) int {
 	}
 	return full
 }
+
+// pool returns the fan-out options for grid experiments.
+func (c Config) pool() parallel.Options { return parallel.Options{Workers: c.Workers} }
 
 // Outcome is one experiment's result.
 type Outcome struct {
@@ -131,33 +141,49 @@ func runFig2(cfg Config) (*Outcome, error) {
 	out := &Outcome{ID: "fig2", Title: "Eq. 1: blocking send/receive pair"}
 	tbl := report.NewTable("perturbed blocking pair: engine vs closed form (delays in cycles)",
 		"δ_os", "δ_λ", "δ_t(d)", "sender-delay", "receiver-delay", "closed-form-sender", "closed-form-receiver")
-	maxErr := 0.0
+	type combo struct{ osn, lat float64 }
+	var grid []combo
 	for _, osn := range []float64{0, 50, 500} {
 		for _, lat := range []float64{0, 100, 1000} {
-			pb := lat / 10
-			set, err := pairSet()
-			if err != nil {
-				return nil, err
-			}
-			model := &core.Model{
-				OSNoise:    dist.Constant{C: osn},
-				MsgLatency: dist.Constant{C: lat},
-				PerByte:    dist.Constant{C: pb / 1000}, // scaled by 1000-byte payload
-			}
-			res, err := core.Analyze(set, model, core.Options{})
-			if err != nil {
-				return nil, err
-			}
-			dSE, dRE := core.Eq1Additive(2*osn, 2*osn, osn, osn, lat, pb, lat)
-			gotS := res.Ranks[0].FinalDelay - 2*osn
-			gotR := res.Ranks[1].FinalDelay - 2*osn
-			tbl.AddRow(osn, lat, pb, gotS, gotR, dSE, dRE)
-			if d := abs(gotS - dSE); d > maxErr {
-				maxErr = d
-			}
-			if d := abs(gotR - dRE); d > maxErr {
-				maxErr = d
-			}
+			grid = append(grid, combo{osn, lat})
+		}
+	}
+	type fig2Row struct{ gotS, gotR, wantS, wantR float64 }
+	rows, err := parallel.Map(len(grid), cfg.pool(), func(i int) (fig2Row, error) {
+		osn, lat := grid[i].osn, grid[i].lat
+		pb := lat / 10
+		set, err := pairSet()
+		if err != nil {
+			return fig2Row{}, err
+		}
+		model := &core.Model{
+			OSNoise:    dist.Constant{C: osn},
+			MsgLatency: dist.Constant{C: lat},
+			PerByte:    dist.Constant{C: pb / 1000}, // scaled by 1000-byte payload
+		}
+		res, err := core.Analyze(set, model, core.Options{})
+		if err != nil {
+			return fig2Row{}, err
+		}
+		dSE, dRE := core.Eq1Additive(2*osn, 2*osn, osn, osn, lat, pb, lat)
+		return fig2Row{
+			gotS:  res.Ranks[0].FinalDelay - 2*osn,
+			gotR:  res.Ranks[1].FinalDelay - 2*osn,
+			wantS: dSE,
+			wantR: dRE,
+		}, nil
+	})
+	if err != nil {
+		return nil, unwrapTask(err)
+	}
+	maxErr := 0.0
+	for i, row := range rows {
+		tbl.AddRow(grid[i].osn, grid[i].lat, grid[i].lat/10, row.gotS, row.gotR, row.wantS, row.wantR)
+		if d := abs(row.gotS - row.wantS); d > maxErr {
+			maxErr = d
+		}
+		if d := abs(row.gotR - row.wantR); d > maxErr {
+			maxErr = d
 		}
 	}
 	out.Table = tbl
@@ -228,29 +254,33 @@ func runFig4(cfg Config) (*Outcome, error) {
 	}
 	tbl := report.NewTable("allreduce-heavy workload: predicted max delay by collective model",
 		"p", "approx (Fig.4 hub)", "explicit pattern", "approx/explicit")
-	pass := true
-	for _, p := range sizes {
-		row := make(map[core.CollectiveMode]float64)
-		for _, mode := range []core.CollectiveMode{core.CollectiveApprox, core.CollectiveExplicit} {
-			set, err := traceWorkload("cg", p, workloads.Options{Iterations: cfg.pick(10, 3)}, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			model := &core.Model{
-				OSNoise:     dist.Exponential{MeanValue: 50},
-				MsgLatency:  dist.Exponential{MeanValue: 200},
-				Collectives: mode,
-				Seed:        cfg.Seed,
-			}
-			res, err := core.Analyze(set, model, core.Options{})
-			if err != nil {
-				return nil, err
-			}
-			row[mode] = res.MaxFinalDelay
+	modes := []core.CollectiveMode{core.CollectiveApprox, core.CollectiveExplicit}
+	delays, err := parallel.Map(len(sizes)*len(modes), cfg.pool(), func(t int) (float64, error) {
+		p, mode := sizes[t/len(modes)], modes[t%len(modes)]
+		set, err := traceWorkload("cg", p, workloads.Options{Iterations: cfg.pick(10, 3)}, cfg.Seed)
+		if err != nil {
+			return 0, err
 		}
-		ratio := row[core.CollectiveApprox] / row[core.CollectiveExplicit]
-		tbl.AddRow(p, row[core.CollectiveApprox], row[core.CollectiveExplicit],
-			fmt.Sprintf("%.2f", ratio))
+		model := &core.Model{
+			OSNoise:     dist.Exponential{MeanValue: 50},
+			MsgLatency:  dist.Exponential{MeanValue: 200},
+			Collectives: mode,
+			Seed:        cfg.Seed,
+		}
+		res, err := core.Analyze(set, model, core.Options{})
+		if err != nil {
+			return 0, err
+		}
+		return res.MaxFinalDelay, nil
+	})
+	if err != nil {
+		return nil, unwrapTask(err)
+	}
+	pass := true
+	for i, p := range sizes {
+		approx, explicit := delays[i*len(modes)], delays[i*len(modes)+1]
+		ratio := approx / explicit
+		tbl.AddRow(p, approx, explicit, fmt.Sprintf("%.2f", ratio))
 		if ratio < 1.0 {
 			pass = false // the hub model must be the pessimistic bound
 		}
@@ -293,19 +323,24 @@ func runSec61(cfg Config) (*Outcome, error) {
 	tbl := report.NewTable(
 		fmt.Sprintf("§6.1: %d ranks, %d traversals, constant per-message perturbation", ranks, traversals),
 		"perturbation", "max-delay", "mean-delay", "delay/(traversals·p)")
-	var xs, ys []float64
+	var xs []float64
 	for c := 0.0; c <= 700; c += 100 {
+		xs = append(xs, c)
+	}
+	results, err := parallel.Map(len(xs), cfg.pool(), func(i int) (*core.Result, error) {
 		set, err := traceWorkload("tokenring", ranks, workloads.Options{Iterations: traversals}, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Analyze(set, &core.Model{MsgLatency: dist.Constant{C: c}}, core.Options{})
-		if err != nil {
-			return nil, err
-		}
-		xs = append(xs, c)
+		return core.Analyze(set, &core.Model{MsgLatency: dist.Constant{C: xs[i]}}, core.Options{})
+	})
+	if err != nil {
+		return nil, unwrapTask(err)
+	}
+	var ys []float64
+	for i, res := range results {
 		ys = append(ys, res.MaxFinalDelay)
-		tbl.AddRow(c, res.MaxFinalDelay, res.MeanFinalDelay,
+		tbl.AddRow(xs[i], res.MaxFinalDelay, res.MeanFinalDelay,
 			res.MaxFinalDelay/float64(traversals*ranks))
 	}
 	fit := dist.FitLinear(xs, ys)
@@ -323,18 +358,21 @@ func runAblA(cfg Config) (*Outcome, error) {
 	n := cfg.pick(16, 6)
 	tbl := report.NewTable("window high-water vs trace length (stencil1d)",
 		"iterations", "events", "window-high-water")
+	lengths := []int{10, 40, 160}
+	results, err := parallel.Map(len(lengths), cfg.pool(), func(i int) (*core.Result, error) {
+		set, err := traceWorkload("stencil1d", n, workloads.Options{Iterations: lengths[i]}, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return core.Analyze(set, &core.Model{}, core.Options{Burst: 8})
+	})
+	if err != nil {
+		return nil, unwrapTask(err)
+	}
 	pass := true
 	var prev int
-	for _, iters := range []int{10, 40, 160} {
-		set, err := traceWorkload("stencil1d", n, workloads.Options{Iterations: iters}, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		res, err := core.Analyze(set, &core.Model{}, core.Options{Burst: 8})
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(iters, res.Events, res.WindowHighWater)
+	for i, res := range results {
+		tbl.AddRow(lengths[i], res.Events, res.WindowHighWater)
 		if prev > 0 && res.WindowHighWater > 4*prev {
 			pass = false // window must not grow with trace length
 		}
@@ -443,25 +481,31 @@ func runAblD(cfg Config) (*Outcome, error) {
 	iters := cfg.pick(10, 3)
 	tbl := report.NewTable("additive vs anchored propagation (token ring, constant latency delta)",
 		"δ per message", "additive max-delay", "anchored max-delay")
-	pass := true
-	for _, c := range []float64{10, 100, 1000, 10000} {
-		var got [2]float64
-		for i, mode := range []core.PropagationMode{core.PropagationAdditive, core.PropagationAnchored} {
-			set, err := traceWorkload("tokenring", n, workloads.Options{Iterations: iters}, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			res, err := core.Analyze(set, &core.Model{
-				MsgLatency:  dist.Constant{C: c},
-				Propagation: mode,
-			}, core.Options{})
-			if err != nil {
-				return nil, err
-			}
-			got[i] = res.MaxFinalDelay
+	deltas := []float64{10, 100, 1000, 10000}
+	modes := []core.PropagationMode{core.PropagationAdditive, core.PropagationAnchored}
+	delays, err := parallel.Map(len(deltas)*len(modes), cfg.pool(), func(t int) (float64, error) {
+		c, mode := deltas[t/len(modes)], modes[t%len(modes)]
+		set, err := traceWorkload("tokenring", n, workloads.Options{Iterations: iters}, cfg.Seed)
+		if err != nil {
+			return 0, err
 		}
-		tbl.AddRow(c, got[0], got[1])
-		if got[1] > got[0] {
+		res, err := core.Analyze(set, &core.Model{
+			MsgLatency:  dist.Constant{C: c},
+			Propagation: mode,
+		}, core.Options{})
+		if err != nil {
+			return 0, err
+		}
+		return res.MaxFinalDelay, nil
+	})
+	if err != nil {
+		return nil, unwrapTask(err)
+	}
+	pass := true
+	for i, c := range deltas {
+		additive, anchored := delays[i*len(modes)], delays[i*len(modes)+1]
+		tbl.AddRow(c, additive, anchored)
+		if anchored > additive {
 			pass = false // anchored absorbs into durations, never exceeds additive
 		}
 	}
@@ -479,9 +523,8 @@ func runExtNeg(cfg Config) (*Outcome, error) {
 	mcfg := machine.Config{NRanks: n, Seed: cfg.Seed, Noise: dist.Exponential{MeanValue: 300}}
 	tbl := report.NewTable("traced on a noisy platform; modeled with noise removed",
 		"removed/edge", "mean-delay", "order-violations-clamped")
-	pass := true
-	var prev float64 = 1
-	for _, c := range []float64{0, 100, 200, 400} {
+	removed := []float64{0, 100, 200, 400}
+	results, err := parallel.Map(len(removed), cfg.pool(), func(i int) (*core.Result, error) {
 		prog, err := workloads.BuildByName("cg", workloads.Options{Iterations: iters})
 		if err != nil {
 			return nil, err
@@ -494,20 +537,24 @@ func runExtNeg(cfg Config) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Analyze(set, &core.Model{
+		return core.Analyze(set, &core.Model{
 			Seed:          cfg.Seed,
-			OSNoise:       dist.Constant{C: -c},
+			OSNoise:       dist.Constant{C: -removed[i]},
 			AllowNegative: true,
 		}, core.Options{})
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(c, res.MeanFinalDelay, res.OrderViolations)
+	})
+	if err != nil {
+		return nil, unwrapTask(err)
+	}
+	pass := true
+	var prev float64 = 1
+	for i, res := range results {
+		tbl.AddRow(removed[i], res.MeanFinalDelay, res.OrderViolations)
 		if res.MeanFinalDelay > prev {
 			pass = false // more removed noise must not slow the run
 		}
 		prev = res.MeanFinalDelay
-		if c == 0 && res.MeanFinalDelay != 0 {
+		if removed[i] == 0 && res.MeanFinalDelay != 0 {
 			pass = false
 		}
 	}
@@ -564,36 +611,51 @@ func runExtTopo(cfg Config) (*Outcome, error) {
 	out := &Outcome{ID: "ext-topo", Title: "topology placement"}
 	n := cfg.pick(16, 8)
 	iters := cfg.pick(10, 3)
-	prog, err := workloads.BuildByName("stencil2d", workloads.Options{Iterations: iters})
-	if err != nil {
-		return nil, err
-	}
 	tbl := report.NewTable(
 		fmt.Sprintf("stencil2d on %d ranks: traced makespan per topology", n),
 		"topology", "makespan", "vs-crossbar")
-	var crossbar int64
-	pass := true
-	for _, topo := range []machine.Topology{machine.TopoFull, machine.TopoRing,
-		machine.TopoMesh2D, machine.TopoHypercube} {
+	topos := []machine.Topology{machine.TopoFull, machine.TopoRing,
+		machine.TopoMesh2D, machine.TopoHypercube}
+	spans, err := parallel.Map(len(topos), cfg.pool(), func(i int) (int64, error) {
+		// Built per task: concurrent runs must not share program state.
+		prog, err := workloads.BuildByName("stencil2d", workloads.Options{Iterations: iters})
+		if err != nil {
+			return 0, err
+		}
 		run, err := mpi.Run(mpi.Config{
-			Machine:        machine.Config{NRanks: n, Seed: cfg.Seed, Topology: topo},
+			Machine:        machine.Config{NRanks: n, Seed: cfg.Seed, Topology: topos[i]},
 			DisableTracing: true,
 		}, prog)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		if topo == machine.TopoFull {
-			crossbar = run.Makespan
-		} else if run.Makespan < crossbar {
+		return run.Makespan, nil
+	})
+	if err != nil {
+		return nil, unwrapTask(err)
+	}
+	crossbar := spans[0] // topos[0] is TopoFull
+	pass := true
+	for i, topo := range topos {
+		if i > 0 && spans[i] < crossbar {
 			pass = false // multi-hop networks cannot beat the crossbar
 		}
-		tbl.AddRow(topo.String(), run.Makespan,
-			fmt.Sprintf("%.2fx", float64(run.Makespan)/float64(crossbar)))
+		tbl.AddRow(topo.String(), spans[i],
+			fmt.Sprintf("%.2fx", float64(spans[i])/float64(crossbar)))
 	}
 	out.Table = tbl
 	out.Pass = pass
 	out.Verdict = "every multi-hop topology is at or above the crossbar; the gap is the placement cost"
 	return out, nil
+}
+
+// unwrapTask strips the engine's task wrapper so experiment callers see
+// the same error text the serial loops produced.
+func unwrapTask(err error) error {
+	if te, ok := err.(*parallel.TaskError); ok {
+		return te.Err
+	}
+	return err
 }
 
 func abs(x float64) float64 {

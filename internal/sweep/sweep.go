@@ -3,15 +3,24 @@
 // and collect the delay series plus its linear fit — the programmatic
 // form of the paper's Section 6.1 protocol, shared by the mpg-sweep
 // tool, the benchmark harness, and the examples.
+//
+// Sweep points (and Monte Carlo trials within a point) are independent
+// replays over deterministic traces, so Run fans them out across a
+// bounded worker pool (Config.Workers). Parallel execution is
+// bit-identical to serial: every replay derives all of its randomness
+// from (seed, point, trial), never from scheduling order.
 package sweep
 
 import (
 	"fmt"
+	"sync"
 
 	"mpgraph/internal/core"
 	"mpgraph/internal/dist"
 	"mpgraph/internal/machine"
 	"mpgraph/internal/mpi"
+	"mpgraph/internal/parallel"
+	"mpgraph/internal/trace"
 	"mpgraph/internal/workloads"
 )
 
@@ -76,18 +85,46 @@ type Config struct {
 	From, To, Step float64
 	// NoiseMean is the fixed exponential noise mean used by ParamRanks.
 	NoiseMean float64
-	// ModelSeed seeds perturbation sampling.
+	// Propagation selects the delta-combining mode of the point models
+	// (additive by default, anchored for the literal Eq. 1/2 reading).
+	Propagation core.PropagationMode
+	// ModelSeed seeds perturbation sampling. With Trials > 1 it is the
+	// base from which per-trial seeds are derived.
 	ModelSeed uint64
 	// Analyze tunes the analyzer.
 	Analyze core.Options
+	// Workers bounds the replay worker pool; zero or negative means
+	// GOMAXPROCS. Results are identical for every pool size.
+	Workers int
+	// Trials, when > 1, turns each point into a Monte Carlo study: the
+	// point's trace is replayed Trials times, each trial analyzing
+	// under an independent seed derived as hash(ModelSeed, task) so
+	// that sampled-distribution models (e.g. exponential noise) are
+	// integrated over their randomness instead of observed once. The
+	// per-point Result is trial 0's; the aggregate lands in
+	// Point.Trials. Values <= 1 run the classic single replay.
+	Trials int
 }
 
 // Point is one sweep observation.
 type Point struct {
 	// Value is the swept parameter's value.
 	Value float64
-	// Result is the full analysis outcome.
+	// Result is the full analysis outcome (trial 0's when Trials > 1).
 	Result *core.Result
+	// Trials aggregates the Monte Carlo trials; nil unless
+	// Config.Trials > 1.
+	Trials *TrialStats
+}
+
+// TrialStats summarizes the MaxFinalDelay observed across one point's
+// Monte Carlo trials.
+type TrialStats struct {
+	// Trials is the number of replays aggregated.
+	Trials int
+	// MeanMax, P95Max, MinMax, MaxMax and StdDevMax summarize the
+	// trials' MaxFinalDelay (the paper's headline slowdown per run).
+	MeanMax, P95Max, MinMax, MaxMax, StdDevMax float64
 }
 
 // Result is a completed sweep.
@@ -96,60 +133,199 @@ type Result struct {
 	Param Param
 	// Points holds the observations in sweep order.
 	Points []Point
-	// Fit is the linear fit of MaxFinalDelay against Value (zero when
-	// fewer than two points or constant x).
+	// Fit is the linear fit of MaxFinalDelay against Value (the trial
+	// mean when Trials > 1; zero when fewer than two points or
+	// constant x).
 	Fit dist.LinearFit
 	// HasFit reports whether Fit is meaningful.
 	HasFit bool
 }
 
-// Run executes the sweep.
-func Run(cfg Config) (*Result, error) {
-	if cfg.Step <= 0 || cfg.To < cfg.From {
-		return nil, fmt.Errorf("sweep: invalid range [%g,%g] step %g", cfg.From, cfg.To, cfg.Step)
+// Values enumerates the sweep grid of cfg (the inclusive From..To
+// range in Step increments, accumulated exactly as Run walks it).
+func (cfg Config) Values() []float64 {
+	var vals []float64
+	for v := cfg.From; v <= cfg.To+1e-9; v += cfg.Step {
+		vals = append(vals, v)
 	}
+	return vals
+}
+
+// pointModel derives the perturbation model and machine configuration
+// for one sweep value.
+func (cfg Config) pointModel(v float64) (*core.Model, machine.Config, error) {
+	model := &core.Model{Seed: cfg.ModelSeed, Propagation: cfg.Propagation}
+	mcfg := cfg.Machine
+	switch cfg.Param {
+	case ParamLatency:
+		model.MsgLatency = dist.Constant{C: v}
+	case ParamNoise:
+		model.OSNoise = dist.Constant{C: v}
+	case ParamPerByte:
+		model.PerByte = dist.Constant{C: v}
+	case ParamRanks:
+		if v < 1 {
+			return nil, mcfg, fmt.Errorf("sweep: ranks value %g < 1", v)
+		}
+		mcfg.NRanks = int(v)
+		model.OSNoise = dist.Exponential{MeanValue: cfg.NoiseMean}
+	}
+	return model, mcfg, nil
+}
+
+// tracePoint traces the workload for one sweep value. Tracing is a
+// pure function of (workload, options, machine config), so concurrent
+// points re-trace independently.
+func (cfg Config) tracePoint(v float64, mcfg machine.Config) (*trace.Set, error) {
 	prog, err := workloads.BuildByName(cfg.Workload, cfg.WorkloadOptions)
 	if err != nil {
 		return nil, err
 	}
+	run, err := mpi.Run(mpi.Config{Machine: mcfg}, prog)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: value %g: %w", v, err)
+	}
+	return run.TraceSet()
+}
+
+// Run executes the sweep, fanning the grid (and, with Trials > 1, the
+// per-point Monte Carlo trials) across the worker pool.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Step <= 0 || cfg.To < cfg.From {
+		return nil, fmt.Errorf("sweep: invalid range [%g,%g] step %g", cfg.From, cfg.To, cfg.Step)
+	}
+	if _, err := workloads.BuildByName(cfg.Workload, cfg.WorkloadOptions); err != nil {
+		return nil, err
+	}
+	vals := cfg.Values()
 	out := &Result{Param: cfg.Param}
+	popts := parallel.Options{Workers: cfg.Workers}
+
 	var xs, ys []float64
-	for v := cfg.From; v <= cfg.To+1e-9; v += cfg.Step {
-		model := &core.Model{Seed: cfg.ModelSeed}
-		mcfg := cfg.Machine
-		switch cfg.Param {
-		case ParamLatency:
-			model.MsgLatency = dist.Constant{C: v}
-		case ParamNoise:
-			model.OSNoise = dist.Constant{C: v}
-		case ParamPerByte:
-			model.PerByte = dist.Constant{C: v}
-		case ParamRanks:
-			if v < 1 {
-				return nil, fmt.Errorf("sweep: ranks value %g < 1", v)
+	if cfg.Trials <= 1 {
+		results, err := parallel.Map(len(vals), popts, func(i int) (*core.Result, error) {
+			v := vals[i]
+			model, mcfg, err := cfg.pointModel(v)
+			if err != nil {
+				return nil, err
 			}
-			mcfg.NRanks = int(v)
-			model.OSNoise = dist.Exponential{MeanValue: cfg.NoiseMean}
-		}
-		run, err := mpi.Run(mpi.Config{Machine: mcfg}, prog)
+			set, err := cfg.tracePoint(v, mcfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.Analyze(set, model, cfg.Analyze)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: value %g: %w", v, err)
+			}
+			return res, nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("sweep: value %g: %w", v, err)
+			return nil, unwrapTask(err)
 		}
-		set, err := run.TraceSet()
+		for i, res := range results {
+			out.Points = append(out.Points, Point{Value: vals[i], Result: res})
+			xs = append(xs, vals[i])
+			ys = append(ys, res.MaxFinalDelay)
+		}
+	} else {
+		points, err := cfg.runTrials(vals, popts)
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Analyze(set, model, cfg.Analyze)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: value %g: %w", v, err)
+		out.Points = points
+		for _, p := range points {
+			xs = append(xs, p.Value)
+			ys = append(ys, p.Trials.MeanMax)
 		}
-		out.Points = append(out.Points, Point{Value: v, Result: res})
-		xs = append(xs, v)
-		ys = append(ys, res.MaxFinalDelay)
 	}
 	if len(xs) >= 2 && xs[0] != xs[len(xs)-1] {
 		out.Fit = dist.FitLinear(xs, ys)
 		out.HasFit = true
 	}
 	return out, nil
+}
+
+// pointSnap lazily traces and snapshots one point's workload exactly
+// once, no matter which trial task gets there first; tracing is
+// deterministic, so the winner is irrelevant.
+type pointSnap struct {
+	once sync.Once
+	snap *trace.Snapshot
+	err  error
+}
+
+func (ps *pointSnap) get(cfg Config, v float64, mcfg machine.Config) (*trace.Snapshot, error) {
+	ps.once.Do(func() {
+		set, err := cfg.tracePoint(v, mcfg)
+		if err != nil {
+			ps.err = err
+			return
+		}
+		ps.snap, ps.err = trace.NewSnapshot(set)
+	})
+	return ps.snap, ps.err
+}
+
+// runTrials fans out the flattened (point × trial) task grid. Each
+// point's trace is captured once as a snapshot and shared read-only
+// across its trials; each trial clones the point model with its own
+// derived seed, so no sampler state is ever shared between replays.
+func (cfg Config) runTrials(vals []float64, popts parallel.Options) ([]Point, error) {
+	trials := cfg.Trials
+	snaps := make([]pointSnap, len(vals))
+	results, err := parallel.Map(len(vals)*trials, popts, func(t int) (*core.Result, error) {
+		p := t / trials
+		v := vals[p]
+		model, mcfg, err := cfg.pointModel(v)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := snaps[p].get(cfg, v, mcfg)
+		if err != nil {
+			return nil, err
+		}
+		trial := model.Clone()
+		trial.Seed = parallel.TaskSeed(cfg.ModelSeed, t)
+		set, release := snap.Acquire()
+		res, err := core.Analyze(set, trial, cfg.Analyze)
+		release()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: value %g trial %d: %w", v, t%trials, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, unwrapTask(err)
+	}
+	points := make([]Point, len(vals))
+	maxima := make([]float64, trials)
+	for p, v := range vals {
+		var w dist.Welford
+		for k := 0; k < trials; k++ {
+			maxima[k] = results[p*trials+k].MaxFinalDelay
+			w.Add(maxima[k])
+		}
+		points[p] = Point{
+			Value:  v,
+			Result: results[p*trials],
+			Trials: &TrialStats{
+				Trials:    trials,
+				MeanMax:   w.Mean(),
+				P95Max:    dist.Quantile(maxima, 0.95),
+				MinMax:    w.Min(),
+				MaxMax:    w.Max(),
+				StdDevMax: w.StdDev(),
+			},
+		}
+	}
+	return points, nil
+}
+
+// unwrapTask strips the engine's task wrapper so sweep callers see the
+// same error text a serial loop produced.
+func unwrapTask(err error) error {
+	if te, ok := err.(*parallel.TaskError); ok {
+		return te.Err
+	}
+	return err
 }

@@ -4,8 +4,46 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"math"
+	"reflect"
 	"testing"
 )
+
+// edgeRecords are boundary-condition fixtures for the seed corpora:
+// collectives at the maximum sequence number, zero-byte messages, and
+// extreme-but-legal timestamps.
+func edgeRecords() []Record {
+	return []Record{
+		{Kind: KindInit, Begin: 0, End: 0, Peer: NoRank, Root: NoRank},
+		{Kind: KindSend, Begin: 1, End: 2, Peer: 1, Tag: 0, Bytes: 0, Root: NoRank},
+		{Kind: KindRecv, Begin: 2, End: 3, Peer: 1, Tag: 0, Bytes: 0, Root: NoRank},
+		{Kind: KindAllreduce, Begin: 4, End: 5, Peer: NoRank, Seq: math.MaxInt64,
+			Bytes: 0, Root: NoRank, CommSize: 2},
+		{Kind: KindBcast, Begin: 6, End: 7, Peer: NoRank, Seq: math.MaxInt64,
+			Bytes: 1, Root: 0, Comm: math.MaxInt32, CommSize: 2},
+		{Kind: KindFinalize, Begin: math.MaxInt64, End: math.MaxInt64,
+			Peer: NoRank, Root: NoRank},
+	}
+}
+
+// encodeAll renders records through the binary codec.
+func encodeAll(f *testing.F, hdr Header, recs []Record) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	enc, err := NewEncoder(&buf, hdr)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
 
 // FuzzDecoder feeds arbitrary bytes to the binary decoder: it must
 // return errors on garbage, never panic or loop. Run with
@@ -32,6 +70,12 @@ func FuzzDecoder(f *testing.F) {
 	f.Add([]byte("MPGT"))
 	f.Add([]byte("garbage that is not a trace at all"))
 	f.Add([]byte{})
+	// Boundary seeds: max-seq collectives and zero-byte messages, whole
+	// and with the final record truncated mid-stream.
+	edge := encodeAll(f, Header{Rank: 0, NRanks: 2}, edgeRecords())
+	f.Add(edge)
+	f.Add(edge[:len(edge)-1])
+	f.Add(edge[:len(edge)-3])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec, err := NewDecoder(bytes.NewReader(data))
@@ -57,11 +101,60 @@ func FuzzTextReader(f *testing.F) {
 	if err := WriteText(&valid, Header{Rank: 0, NRanks: 2}, sampleRecords()); err != nil {
 		f.Fatal(err)
 	}
+	var edge bytes.Buffer
+	if err := WriteText(&edge, Header{Rank: 1, NRanks: 2}, edgeRecords()); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(valid.String())
+	f.Add(edge.String())
+	f.Add(edge.String()[:edge.Len()-4]) // truncated final record
 	f.Add("# mpgt-text 1\nheader rank=0 nranks=1\n")
 	f.Add("nonsense")
 	f.Add("")
 	f.Fuzz(func(t *testing.T, s string) {
 		_, _, _ = ReadText(bytes.NewReader([]byte(s)))
+	})
+}
+
+// FuzzTextRoundTrip checks the codec identity decode(encode(x)) == x:
+// any input the text reader accepts must re-encode to a form that
+// parses back to the same header and records.
+func FuzzTextRoundTrip(f *testing.F) {
+	for _, recs := range [][]Record{sampleRecords(), edgeRecords()} {
+		var buf bytes.Buffer
+		if err := WriteText(&buf, Header{Rank: 0, NRanks: 2,
+			Meta: map[string]string{"workload": "tokenring"}}, recs); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.String())
+	}
+	f.Add("# mpgt-text 1\nheader rank=0 nranks=1\nmeta a=b=c\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		hdr, recs, err := ReadText(bytes.NewReader([]byte(s)))
+		if err != nil {
+			return // rejected input: fine
+		}
+		var out bytes.Buffer
+		if err := WriteText(&out, hdr, recs); err != nil {
+			// The reader is more permissive than the writer in exactly
+			// one place: metadata keys with spaces/'=' parse but are not
+			// representable. Anything else must re-encode.
+			for k := range hdr.Meta {
+				if len(k) == 0 || bytes.ContainsAny([]byte(k), " =") {
+					return
+				}
+			}
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		hdr2, recs2, err := ReadText(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to parse: %v\n%s", err, out.Bytes())
+		}
+		if !reflect.DeepEqual(hdr, hdr2) {
+			t.Fatalf("header round-trip mismatch:\n%+v\n%+v", hdr, hdr2)
+		}
+		if !reflect.DeepEqual(recs, recs2) {
+			t.Fatalf("records round-trip mismatch:\n%+v\n%+v", recs, recs2)
+		}
 	})
 }

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+func snapshotFixture(t *testing.T) *Snapshot {
+	t.Helper()
+	mk := func(rank int) *MemTrace {
+		return &MemTrace{
+			Hdr: Header{Rank: rank, NRanks: 2},
+			Records: []Record{
+				{Kind: KindInit, Begin: 0, End: 10, Peer: NoRank, Root: NoRank},
+				{Kind: KindFinalize, Begin: 20, End: 20, Peer: NoRank, Root: NoRank},
+			},
+		}
+	}
+	set, err := SetFromMem([]*MemTrace{mk(0), mk(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := NewSnapshot(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func drain(t *testing.T, set *Set) int {
+	t.Helper()
+	n := 0
+	for r := 0; r < set.NRanks(); r++ {
+		for {
+			_, err := set.Rank(r).Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+	return n
+}
+
+func TestSnapshotRepeatedAcquire(t *testing.T) {
+	snap := snapshotFixture(t)
+	if snap.NRanks() != 2 || snap.Events() != 4 {
+		t.Fatalf("snapshot shape: ranks=%d events=%d", snap.NRanks(), snap.Events())
+	}
+	for i := 0; i < 5; i++ {
+		set, release := snap.Acquire()
+		if got := drain(t, set); got != 4 {
+			t.Fatalf("acquire %d: drained %d records", i, got)
+		}
+		release()
+	}
+}
+
+// TestSnapshotConcurrentAcquire drains many acquired sets in parallel
+// under -race: the shared records must never be mutated and each set's
+// read position must be private.
+func TestSnapshotConcurrentAcquire(t *testing.T) {
+	snap := snapshotFixture(t)
+	var wg sync.WaitGroup
+	errc := make(chan string, 64)
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			set, release := snap.Acquire()
+			defer release()
+			n := 0
+			for r := 0; r < set.NRanks(); r++ {
+				for {
+					_, err := set.Rank(r).Next()
+					if errors.Is(err, io.EOF) {
+						break
+					}
+					if err != nil {
+						errc <- err.Error()
+						return
+					}
+					n++
+				}
+			}
+			if n != 4 {
+				errc <- "short read"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for msg := range errc {
+		t.Fatal(msg)
+	}
+}
+
+// TestSnapshotWithoutRelease still works (fresh wrappers are built when
+// the pool is empty) — release is an optimization, not a requirement.
+func TestSnapshotWithoutRelease(t *testing.T) {
+	snap := snapshotFixture(t)
+	a, _ := snap.Acquire()
+	b, _ := snap.Acquire()
+	if drain(t, a) != 4 || drain(t, b) != 4 {
+		t.Fatal("parallel acquires interfere")
+	}
+}
