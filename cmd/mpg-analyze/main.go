@@ -44,6 +44,11 @@ func run(args []string) error {
 	trajectory := fs.String("trajectory", "", "write a per-event delay CSV (rank,event,kind,orig_end,delay,region) to this path")
 	history := fs.String("history", "", "append this run's summary to a JSON-lines history file (§7)")
 	label := fs.String("label", "", "label for the history entry")
+	critpath := fs.Bool("critpath", false, "extract the critical path behind the makespan delay and print its blame tables")
+	critpathCSV := fs.String("critpath-csv", "", "write the critical path as CSV to this path (implies extraction)")
+	critpathDOT := fs.String("critpath-dot", "", "write a DOT rendering of the graph with the critical path highlighted (implies extraction)")
+	var of cli.ObsvFlags
+	of.Register(fs, false)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,7 +102,14 @@ func run(args []string) error {
 	}
 	defer closeFn() //nolint:errcheck
 
-	opts := core.Options{MaxWindow: *maxWindow}
+	opts := core.Options{MaxWindow: *maxWindow, Metrics: of.Registry()}
+	wantCrit := *critpath || *critpathCSV != "" || *critpathDOT != ""
+	opts.RecordCritPath = wantCrit
+	var graph *core.Graph
+	if *critpathDOT != "" {
+		graph = &core.Graph{}
+		opts.Graph = graph
+	}
 	var trajFile *os.File
 	if *trajectory != "" {
 		trajFile, err = os.Create(*trajectory)
@@ -133,9 +145,39 @@ func run(args []string) error {
 			modelDesc["signature"] = *sigPath
 		}
 		entry := report.NewHistoryEntry(*label, *traces, modelDesc, res)
+		entry.AttachTiming(of.DurationMS(), of.Registry().Snapshot())
 		if err := report.AppendHistory(*history, entry); err != nil {
 			return err
 		}
 	}
-	return report.Analysis(os.Stdout, res, *maxRanks)
+	if err := report.Analysis(os.Stdout, res, *maxRanks); err != nil {
+		return err
+	}
+	if wantCrit {
+		if *critpath {
+			if err := report.CritPath(os.Stdout, res.CritPath); err != nil {
+				return err
+			}
+		}
+		if *critpathCSV != "" {
+			f, err := os.Create(*critpathCSV)
+			if err != nil {
+				return err
+			}
+			if err := report.CritPathCSV(f, res.CritPath); err != nil {
+				f.Close() //nolint:errcheck
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		if *critpathDOT != "" {
+			dot := graph.DOTWithPath("critical path", res.CritPath.Steps)
+			if err := os.WriteFile(*critpathDOT, []byte(dot), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return of.Flush()
 }

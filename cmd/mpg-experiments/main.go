@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"mpgraph/internal/cli"
 	"mpgraph/internal/experiments"
 )
 
@@ -36,10 +37,13 @@ func run(args []string, w io.Writer) error {
 	dotOut := fs.String("dot", "", "write fig5's DOT artifact to this path")
 	csv := fs.Bool("csv", false, "emit tables as CSV")
 	md := fs.Bool("md", false, "emit tables as markdown (for EXPERIMENTS.md)")
+	var of cli.ObsvFlags
+	of.Register(fs, true)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+	of.Start(os.Stderr)
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers, Metrics: of.Registry()}
 
 	var list []experiments.Experiment
 	if *only != "" {
@@ -83,6 +87,9 @@ func run(args []string, w io.Writer) error {
 			}
 			fmt.Fprintf(w, "fig5 DOT written to %s\n\n", *dotOut)
 		}
+	}
+	if err := of.Flush(); err != nil {
+		return err
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d experiment(s) failed their shape check", failed)

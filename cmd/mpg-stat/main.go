@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"mpgraph/internal/dist"
+	"mpgraph/internal/obsv"
 	"mpgraph/internal/report"
 	"mpgraph/internal/trace"
 )
@@ -40,6 +41,13 @@ func run(args []string) error {
 	}
 	defer closeFn() //nolint:errcheck
 
+	// Scan throughput instrumentation: how fast this census chews
+	// through the trace directory.
+	reg := obsv.NewRegistry()
+	nEvents := reg.Counter("stat_events_total")
+	nBytes := reg.Counter("stat_sent_bytes_total")
+	stopScan := reg.Timer("stat_scan").Start()
+
 	kindCounts := map[trace.Kind]int64{}
 	var msgBytes, gaps, durations []float64
 	type rankAgg struct {
@@ -64,9 +72,11 @@ func run(args []string) error {
 			}
 			kindCounts[rec.Kind]++
 			perRank[rank].events++
+			nEvents.Inc()
 			if rec.Kind == trace.KindSend || rec.Kind == trace.KindIsend {
 				msgBytes = append(msgBytes, float64(rec.Bytes))
 				perRank[rank].bytes += rec.Bytes
+				nBytes.Add(rec.Bytes)
 			}
 			if started {
 				gaps = append(gaps, float64(rec.Begin-prevEnd))
@@ -80,6 +90,7 @@ func run(args []string) error {
 		}
 		perRank[rank].span = last - first
 	}
+	stopScan()
 
 	// Per-kind table, sorted by count.
 	type kc struct {
@@ -107,6 +118,11 @@ func run(args []string) error {
 	fmt.Printf("\nmessage sizes:  %s\n", dist.Summarize(msgBytes))
 	fmt.Printf("compute gaps:   %s\n", dist.Summarize(gaps))
 	fmt.Printf("event durations: %s\n", dist.Summarize(durations))
+	if secs := reg.Timer("stat_scan").Total().Seconds(); secs > 0 {
+		fmt.Printf("scan rate:      %.3g events/sec, %.3g sent-bytes/sec (%d events in %.1fms)\n",
+			float64(nEvents.Value())/secs, float64(nBytes.Value())/secs,
+			nEvents.Value(), secs*1000)
+	}
 
 	rt := report.NewTable("per-rank", "rank", "events", "sent-bytes", "local-span")
 	for rank, agg := range perRank {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -37,7 +38,7 @@ func TestGoldenParallelMatchesSerial(t *testing.T) {
 			path := filepath.Join("testdata", tc.name+".golden")
 			if *update {
 				var buf bytes.Buffer
-				if err := run(append(tc.args, "-workers", "1"), &buf); err != nil {
+				if err := run(append(tc.args, "-workers", "1"), &buf, io.Discard); err != nil {
 					t.Fatal(err)
 				}
 				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
@@ -50,7 +51,7 @@ func TestGoldenParallelMatchesSerial(t *testing.T) {
 			}
 			for _, workers := range []string{"1", "8"} {
 				var buf bytes.Buffer
-				if err := run(append(tc.args, "-workers", workers), &buf); err != nil {
+				if err := run(append(tc.args, "-workers", workers), &buf, io.Discard); err != nil {
 					t.Fatalf("workers=%s: %v", workers, err)
 				}
 				if !bytes.Equal(buf.Bytes(), want) {

@@ -26,6 +26,7 @@ import (
 	"mpgraph/internal/cli"
 	"mpgraph/internal/dist"
 	"mpgraph/internal/mpi"
+	"mpgraph/internal/obsv"
 	"mpgraph/internal/parallel"
 	"mpgraph/internal/report"
 	"mpgraph/internal/sweep"
@@ -33,18 +34,20 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "mpg-sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w, stderr io.Writer) error {
 	fs := flag.NewFlagSet("mpg-sweep", flag.ContinueOnError)
 	var mf cli.MachineFlags
 	var wf cli.WorkloadFlags
+	var of cli.ObsvFlags
 	mf.Register(fs)
 	wf.Register(fs)
+	of.Register(fs, true)
 	param := fs.String("sweep", "latency", "swept parameter: latency|noise|perbyte|ranks (ranks: value = world size, perturbation fixed by -os-noise-mean)")
 	noiseMean := fs.Float64("os-noise-mean", 200, "per-edge noise mean used by -sweep ranks")
 	from := fs.Float64("from", 0, "sweep start value (cycles, or cycles/byte for perbyte)")
@@ -54,6 +57,7 @@ func run(args []string, w io.Writer) error {
 	trials := fs.Int("trials", 1, "Monte Carlo replays per point, each under a seed derived from (model seed, trial)")
 	useBaseline := fs.Bool("baseline", false, "also run the Dimemas-style DES replayer per point")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	progress := fs.Bool("progress", false, "report live replay progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,6 +72,7 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("unknown sweep parameter %q", *param)
 	}
+	of.Start(stderr)
 	cfg := sweep.Config{
 		Workload:        wf.Name,
 		WorkloadOptions: wf.Options(),
@@ -80,6 +85,16 @@ func run(args []string, w io.Writer) error {
 		ModelSeed:       1,
 		Workers:         *workers,
 		Trials:          *trials,
+		Metrics:         of.Registry(),
+	}
+	if *progress {
+		total := len(cfg.Values())
+		if *trials > 1 {
+			total *= *trials
+		}
+		rep := obsv.NewProgress(stderr, "replays", total, 0)
+		defer rep.Done()
+		cfg.Progress = func(done, total int) { rep.Add(1) }
 	}
 	res, err := sweep.Run(cfg)
 	if err != nil {
@@ -115,7 +130,12 @@ func run(args []string, w io.Writer) error {
 		tbl.AddRow(row...)
 	}
 
+	// In CSV mode the data stream must stay machine-parseable, so the
+	// fit and expectation diagnostics go to stderr instead of
+	// interleaving with the rows.
+	diag := w
 	if *csv {
+		diag = stderr
 		if err := tbl.CSV(w); err != nil {
 			return err
 		}
@@ -124,7 +144,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if res.HasFit {
-		fmt.Fprintf(w, "linear fit: max-delay = %.2f*value + %.1f (R²=%.5f)\n",
+		fmt.Fprintf(diag, "linear fit: max-delay = %.2f*value + %.1f (R²=%.5f)\n",
 			res.Fit.Slope, res.Fit.Intercept, res.Fit.R2)
 		if wf.Name == "tokenring" && p == sweep.ParamLatency {
 			tr, _ := workloads.Get("tokenring")
@@ -132,11 +152,11 @@ func run(args []string, w io.Writer) error {
 			if iters == 0 {
 				iters = tr.Defaults.Iterations
 			}
-			fmt.Fprintf(w, "paper §6.1 expectation: slope ≈ traversals × p = %d × %d = %d\n",
+			fmt.Fprintf(diag, "paper §6.1 expectation: slope ≈ traversals × p = %d × %d = %d\n",
 				iters, mcfg.NRanks, iters*mcfg.NRanks)
 		}
 	}
-	return nil
+	return of.Flush()
 }
 
 // baselineGrowth replays every sweep point through the DES baseline and

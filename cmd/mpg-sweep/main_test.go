@@ -7,7 +7,7 @@ import (
 
 func TestSweepLatency(t *testing.T) {
 	err := run([]string{"-workload", "tokenring", "-ranks", "4", "-iters", "2",
-		"-sweep", "latency", "-from", "0", "-to", "200", "-step", "100"}, io.Discard)
+		"-sweep", "latency", "-from", "0", "-to", "200", "-step", "100"}, io.Discard, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -16,7 +16,7 @@ func TestSweepLatency(t *testing.T) {
 func TestSweepNoiseWithBaselineCSV(t *testing.T) {
 	err := run([]string{"-workload", "cg", "-ranks", "3", "-iters", "2",
 		"-sweep", "noise", "-from", "0", "-to", "100", "-step", "50",
-		"-baseline", "-csv"}, io.Discard)
+		"-baseline", "-csv"}, io.Discard, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +24,7 @@ func TestSweepNoiseWithBaselineCSV(t *testing.T) {
 
 func TestSweepPerByte(t *testing.T) {
 	err := run([]string{"-workload", "pipeline", "-ranks", "3", "-iters", "2",
-		"-sweep", "perbyte", "-from", "0", "-to", "1", "-step", "0.5"}, io.Discard)
+		"-sweep", "perbyte", "-from", "0", "-to", "1", "-step", "0.5"}, io.Discard, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,24 +33,24 @@ func TestSweepPerByte(t *testing.T) {
 func TestSweepTrials(t *testing.T) {
 	err := run([]string{"-workload", "tokenring", "-ranks", "3", "-iters", "2",
 		"-sweep", "ranks", "-from", "2", "-to", "3", "-step", "1",
-		"-trials", "4", "-workers", "2"}, io.Discard)
+		"-trials", "4", "-workers", "2"}, io.Discard, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestSweepRejectsBadRange(t *testing.T) {
-	if err := run([]string{"-from", "100", "-to", "0"}, io.Discard); err == nil {
+	if err := run([]string{"-from", "100", "-to", "0"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("inverted range accepted")
 	}
-	if err := run([]string{"-step", "0"}, io.Discard); err == nil {
+	if err := run([]string{"-step", "0"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("zero step accepted")
 	}
 }
 
 func TestSweepRejectsUnknownParam(t *testing.T) {
 	if err := run([]string{"-sweep", "phase-of-moon", "-ranks", "2",
-		"-workload", "tokenring", "-iters", "1", "-to", "0"}, io.Discard); err == nil {
+		"-workload", "tokenring", "-iters", "1", "-to", "0"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("unknown sweep parameter accepted")
 	}
 }

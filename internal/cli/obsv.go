@@ -1,0 +1,74 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registers the profiling handlers on DefaultServeMux
+	"time"
+
+	"mpgraph/internal/obsv"
+)
+
+// ObsvFlags collects the shared observability flags of the tools:
+// -metrics-out (JSON metrics snapshot at exit) and, for long-running
+// tools, -pprof (live profiling endpoint).
+type ObsvFlags struct {
+	// MetricsOut is the snapshot destination path ("" = don't write).
+	MetricsOut string
+	// Pprof is the profiling listen address ("" = don't serve).
+	Pprof string
+
+	reg   *obsv.Registry
+	start time.Time
+}
+
+// Register adds -metrics-out to fs; withPprof also adds -pprof.
+func (o *ObsvFlags) Register(fs *flag.FlagSet, withPprof bool) {
+	fs.StringVar(&o.MetricsOut, "metrics-out", "", "write a JSON metrics snapshot (counters, gauges, phase timings) to this path at exit")
+	if withPprof {
+		fs.StringVar(&o.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
+	}
+}
+
+// Registry returns the tool's metrics registry, creating it on first
+// use and marking the run's start time.
+func (o *ObsvFlags) Registry() *obsv.Registry {
+	if o.reg == nil {
+		o.reg = obsv.NewRegistry()
+		o.start = time.Now()
+	}
+	return o.reg
+}
+
+// DurationMS returns the wall time since the registry was created.
+func (o *ObsvFlags) DurationMS() float64 {
+	if o.reg == nil {
+		return 0
+	}
+	return float64(time.Since(o.start)) / float64(time.Millisecond)
+}
+
+// Start launches the pprof server when -pprof was given. Errors (e.g.
+// an occupied port) are reported to stderr, never fatal: profiling is
+// a diagnostic aid, not a run prerequisite.
+func (o *ObsvFlags) Start(stderr io.Writer) {
+	if o.Pprof == "" {
+		return
+	}
+	addr := o.Pprof
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(stderr, "pprof:", err)
+		}
+	}()
+}
+
+// Flush writes the metrics snapshot when -metrics-out was given.
+func (o *ObsvFlags) Flush() error {
+	if o.MetricsOut == "" {
+		return nil
+	}
+	return obsv.WriteJSONFile(o.MetricsOut, o.Registry().Snapshot())
+}

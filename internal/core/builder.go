@@ -13,6 +13,7 @@ import (
 // propagates the model's perturbations through it in a single
 // streaming pass, returning the per-rank delay outcome.
 func Analyze(set *trace.Set, model *Model, opts Options) (*Result, error) {
+	defer opts.Metrics.Timer("core_analyze").Start()()
 	a, err := newAnalyzer(set, model, opts)
 	if err != nil {
 		return nil, err
@@ -54,8 +55,9 @@ type msgState struct {
 	// waiters), to be rescheduled when the match resolves.
 	waiters []int
 
-	// Graph-sink bookkeeping.
+	// Graph-sink and critical-path bookkeeping.
 	sendStartRef NodeRef
+	recvStartRef NodeRef
 	sendDoneRef  NodeRef
 	recvDoneRef  NodeRef
 	sendDoneSet  bool
@@ -100,6 +102,12 @@ type collParticipant struct {
 	dur       int64
 	outD      float64     // resolved completion contribution
 	outAttr   Attribution // attribution of outD from this rank's view
+	// outPred anchors outD for critical-path extraction: the start
+	// subevent of the participant whose path won the collective's max
+	// (the hub argmax in approx mode, the adopt-chain origin in
+	// explicit mode) and that participant's inbound delay.
+	outPredRef NodeRef
+	outPredD   float64
 }
 
 // collState gathers a collective's participants until all arrive.
@@ -146,6 +154,11 @@ type rankState struct {
 
 	region int32
 
+	// Pending critical-path steps for the current record (valid only
+	// while crit recording is enabled).
+	critStart critStep
+	critEnd   critStep
+
 	reqs map[uint64]*reqRef
 
 	sendReqs    int64
@@ -177,6 +190,15 @@ type analyzer struct {
 
 	runnable []int
 	queued   []bool
+
+	// crit holds the recorded argmax decisions, one critNode per event
+	// in per-rank record order; nil unless Options.RecordCritPath.
+	crit [][]critNode
+
+	// Engine counters, flushed to Options.Metrics at the end of the
+	// run. Plain ints: the analyzer is single-goroutine.
+	nLocalEdges, nMsgEdges, nCollEdges int64
+	nMatches, nColls                   int64
 }
 
 func newAnalyzer(set *trace.Set, model *Model, opts Options) (*analyzer, error) {
@@ -197,6 +219,9 @@ func newAnalyzer(set *trace.Set, model *Model, opts Options) (*analyzer, error) 
 		queues: map[msgKey][]*msgState{},
 		colls:  map[collKey]*collState{},
 		queued: make([]bool, n),
+	}
+	if opts.RecordCritPath {
+		a.crit = make([][]critNode, n)
 	}
 	for r := 0; r < n; r++ {
 		a.ranks[r] = &rankState{
@@ -249,6 +274,21 @@ func (a *analyzer) run() (*Result, error) {
 		a.res.warnf("%d negative perturbations were clamped to preserve event order (§4.3)", a.res.OrderViolations)
 	}
 	a.res.finalize()
+	if a.crit != nil {
+		a.res.CritPath = buildCritPath(a.res, a.crit)
+	}
+	if m := a.opts.Metrics; m != nil {
+		m.Counter("core_analyses_total").Inc()
+		m.Counter("core_events_total").Add(a.res.Events)
+		m.Counter("core_edges_local_total").Add(a.nLocalEdges)
+		m.Counter("core_edges_message_total").Add(a.nMsgEdges)
+		m.Counter("core_edges_collective_total").Add(a.nCollEdges)
+		m.Counter("core_matches_total").Add(a.nMatches)
+		m.Counter("core_collectives_total").Add(a.nColls)
+		m.Counter("core_samples_noise_total").Add(a.smp.nNoise)
+		m.Counter("core_samples_message_total").Add(a.smp.nMsg)
+		m.Gauge("core_window_high_water").SetMax(float64(a.res.WindowHighWater))
+	}
 	return a.res, nil
 }
 
@@ -322,6 +362,17 @@ func (a *analyzer) beginRecord(rs *rankState, rec trace.Record) error {
 		}
 	}
 
+	if rs.started {
+		a.nLocalEdges++ // compute-gap edge
+	}
+	if a.crit != nil {
+		rs.critStart = critStep{d: rs.startD, kind: EdgeLocal}
+		if rs.started {
+			rs.critStart.pred = NodeRef{Rank: rs.rank, Event: rs.eventIdx - 1, End: true}
+			rs.critStart.predD = rs.prevD
+			rs.critStart.hasPred = true
+		}
+	}
 	if sink := a.opts.Graph; sink != nil {
 		ref := NodeRef{Rank: rs.rank, Event: rs.eventIdx}
 		sink.AddNode(ref, rec.Begin, rec)
@@ -340,6 +391,16 @@ func (a *analyzer) completeRecord(rs *rankState) (bool, error) {
 	rec := rs.cur
 	var endD float64
 	var endAttr Attribution
+	if a.crit != nil {
+		// Default argmax: the event's own start subevent (the local
+		// internal edge). Remote-win completion paths overwrite this.
+		rs.critEnd = critStep{
+			pred:    NodeRef{Rank: rs.rank, Event: rs.eventIdx},
+			predD:   rs.startD,
+			kind:    EdgeLocal,
+			hasPred: true,
+		}
+	}
 	switch {
 	case rec.Kind == trace.KindMarker:
 		rs.region = rec.Tag
@@ -395,6 +456,11 @@ func (a *analyzer) finishRecord(rs *rankState, rec trace.Record, endD float64, e
 			endD = floor
 			a.res.OrderViolations++
 		}
+	}
+	a.nLocalEdges++ // the event-internal start→end edge
+	if a.crit != nil {
+		rs.critEnd.d = endD
+		a.crit[rs.rank] = append(a.crit[rs.rank], critNode{start: rs.critStart, end: rs.critEnd})
 	}
 	if sink := a.opts.Graph; sink != nil {
 		ref := NodeRef{Rank: rs.rank, Event: rs.eventIdx, End: true}
@@ -532,6 +598,7 @@ func (a *analyzer) postP2P(rs *rankState, rec trace.Record, isSend bool, startD 
 		m.recvSeen = true
 		m.recvPostD = startD
 		m.recvAttr = rs.startAttr
+		m.recvStartRef = NodeRef{Rank: rs.rank, Event: rs.eventIdx}
 	}
 	if m.sendSeen && m.recvSeen && !m.matched {
 		a.resolveMatch(key, m, int(key.dst))
@@ -557,6 +624,8 @@ func (a *analyzer) resolveMatch(key msgKey, m *msgState, recvRank int) {
 		m.cRecvFromData = false
 	}
 	m.matched = true
+	a.nMatches++
+	a.nMsgEdges += 2 // data + acknowledgment edges
 	// Drop the matched entry from the front region of its queue.
 	q := a.queues[key]
 	for i, cand := range q {
@@ -600,6 +669,21 @@ func (a *analyzer) completeBlockingP2P(rs *rankState, rec trace.Record) (float64
 	return d, attr, true, nil
 }
 
+// critRemoteMsg records the transfer completion as the argmax
+// predecessor of the current record's end subevent: the sender's post
+// when the data path dominated cRecv, the receiver's post otherwise.
+// Either way the winning edge is a message edge.
+func (a *analyzer) critRemoteMsg(rs *rankState, m *msgState) {
+	if a.crit == nil {
+		return
+	}
+	if m.cRecvFromData {
+		rs.critEnd = critStep{pred: m.sendStartRef, predD: m.sendStartD, kind: EdgeMessage, hasPred: true}
+	} else {
+		rs.critEnd = critStep{pred: m.recvStartRef, predD: m.recvPostD, kind: EdgeMessage, hasPred: true}
+	}
+}
+
 // sendCompletion applies Eq. 1's sender rule: the local path carries
 // δ_os1, the remote path is the transfer completion plus the
 // acknowledgment latency δ_λ2 (and, anchored, the receiver-side noise
@@ -620,6 +704,7 @@ func (a *analyzer) sendCompletion(rs *rankState, m *msgState, w int64) (float64,
 		remoteAttr.RemoteNoise += m.dOS2
 		remoteAttr.MsgDelta += m.dLat2 - float64(w)
 		if a.merge(rs, local, remote) == remote && remote > local {
+			a.critRemoteMsg(rs, m)
 			return remote, remoteAttr
 		}
 		return local, localAttr
@@ -627,6 +712,7 @@ func (a *analyzer) sendCompletion(rs *rankState, m *msgState, w int64) (float64,
 	local := startD + dOS1
 	remote := m.cRecv + m.dLat2
 	if a.merge(rs, local, remote) == remote && remote > local {
+		a.critRemoteMsg(rs, m)
 		return remote, m.sendPerspective().addMsg(m.dLat2)
 	}
 	return local, rs.startAttr.addOwn(dOS1)
@@ -648,6 +734,11 @@ func (a *analyzer) recvCompletion(rs *rankState, m *msgState, w int64) (float64,
 		remoteAttr := m.sendAttr.asRemote().addMsg(m.dLat1 + m.dPerByte - float64(w))
 		remoteAttr.OwnNoise += m.dOS2
 		if a.merge(rs, local, remote) == remote && remote > local {
+			if a.crit != nil {
+				// Anchored receive: the remote path is always the data
+				// arrival (cData), never the receiver's own post.
+				rs.critEnd = critStep{pred: m.sendStartRef, predD: m.sendStartD, kind: EdgeMessage, hasPred: true}
+			}
 			return remote, remoteAttr
 		}
 		return local, localAttr
@@ -655,6 +746,7 @@ func (a *analyzer) recvCompletion(rs *rankState, m *msgState, w int64) (float64,
 	local := startD + m.dOS2
 	remote := m.cRecv
 	if a.merge(rs, local, remote) == remote && remote > local {
+		a.critRemoteMsg(rs, m)
 		return remote, m.recvPerspective()
 	}
 	return local, rs.startAttr.addOwn(m.dOS2)

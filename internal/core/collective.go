@@ -72,6 +72,9 @@ func (a *analyzer) completeCollective(rs *rankState, rec trace.Record) (float64,
 				remote -= float64(p.dur)
 			}
 			if a.merge(rs, local, remote) == remote && remote > local {
+				if a.crit != nil {
+					rs.critEnd = critStep{pred: p.outPredRef, predD: p.outPredD, kind: EdgeCollective, hasPred: true}
+				}
 				return remote, p.outAttr, true, nil
 			}
 			return local, rs.startAttr, true, nil
@@ -85,6 +88,8 @@ func (a *analyzer) completeCollective(rs *rankState, rec trace.Record) (float64,
 // in ascending world-rank order so sampling is deterministic.
 func (a *analyzer) resolveCollective(cs *collState) {
 	cs.resolved = true
+	a.nColls++
+	a.nCollEdges += int64(2*len(cs.parts) - 1) // Fig. 4 hub in/out edges
 	// Sort participants by rank for deterministic sampling; arrival
 	// order depends on scheduling.
 	ordered := make([]*collParticipant, len(cs.parts))
@@ -144,6 +149,8 @@ func (a *analyzer) resolveApprox(cs *collState, ordered []*collParticipant) {
 	winAttr := winner.startAttr.addOwn(winnerNoise).addMsg(winnerMsg)
 	for _, part := range ordered {
 		part.outD = lMax
+		part.outPredRef = winner.startRef
+		part.outPredD = winner.startD
 		if part == winner {
 			part.outAttr = winAttr
 		} else {
@@ -160,11 +167,16 @@ func (a *analyzer) resolveExplicit(cs *collState, ordered []*collParticipant) {
 	p := len(ordered)
 	D := make([]float64, p)
 	A := make([]Attribution, p)
+	// org tracks, per member, which participant's start subevent
+	// anchors the member's current winning path (for critical-path
+	// extraction); adoption chains inherit the source's origin.
+	org := make([]int, p)
 	rootIdx := 0
 	for i, part := range ordered {
 		n := a.smp.osNoise(part.rank)
 		D[i] = part.startD + n
 		A[i] = part.startAttr.addOwn(n)
+		org[i] = i
 		if cs.kind.IsRooted() && int32(part.rank) == cs.root {
 			rootIdx = i
 		}
@@ -175,6 +187,7 @@ func (a *analyzer) resolveExplicit(cs *collState, ordered []*collParticipant) {
 		if v := D[src] + msg; v > D[dst] {
 			D[dst] = v
 			A[dst] = A[src].asRemote().addMsg(msg)
+			org[dst] = org[src]
 		}
 	}
 	bytesOf := func(round int) int64 { return roundBytes(cs.kind, cs.bytes, round, p) }
@@ -233,6 +246,7 @@ func (a *analyzer) resolveExplicit(cs *collState, ordered []*collParticipant) {
 		rounds := ceilLog2(p)
 		next := make([]float64, p)
 		nextA := make([]Attribution, p)
+		nextOrg := make([]int, p)
 		for j := 0; j < rounds; j++ {
 			step := (1 << uint(j)) % p
 			for i := 0; i < p; i++ {
@@ -241,18 +255,23 @@ func (a *analyzer) resolveExplicit(cs *collState, ordered []*collParticipant) {
 				if v := D[src] + msg; v > D[i] {
 					next[i] = v
 					nextA[i] = A[src].asRemote().addMsg(msg)
+					nextOrg[i] = org[src]
 				} else {
 					next[i] = D[i]
 					nextA[i] = A[i]
+					nextOrg[i] = org[i]
 				}
 			}
 			copy(D, next)
 			copy(A, nextA)
+			copy(org, nextOrg)
 		}
 	}
 	for i, part := range ordered {
 		part.outD = D[i]
 		part.outAttr = A[i]
+		part.outPredRef = ordered[org[i]].startRef
+		part.outPredD = ordered[org[i]].startD
 		if D[i] > cs.lMax {
 			cs.lMax = D[i]
 		}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mpgraph/internal/dist"
+	"mpgraph/internal/obsv"
+	"mpgraph/internal/trace"
+)
+
+func nref(rank int, event int64, end bool) NodeRef {
+	return NodeRef{Rank: rank, Event: event, End: end}
+}
+
+func wantPath(t *testing.T, cp *CriticalPath, want []NodeRef) {
+	t.Helper()
+	if len(cp.Steps) != len(want) {
+		t.Fatalf("path has %d steps, want %d: %v", len(cp.Steps), len(want), cp.Steps)
+	}
+	for i, w := range want {
+		if cp.Steps[i].Node != w {
+			t.Fatalf("step %d = %s, want %s (path %v)", i, cp.Steps[i].Node, w, cp.Steps)
+		}
+	}
+}
+
+func wantBlame(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("%s blame = %g, want %g", name, got, want)
+	}
+}
+
+// TestCritPath2RankMessage pins the exact argmax chain of a blocking
+// pair whose makespan sink is the receiver: the path must hop from the
+// receiver's chain across the data message edge to the sender's post.
+func TestCritPath2RankMessage(t *testing.T) {
+	const l = 100.0
+	send := rec(trace.KindSend, 100, 300)
+	send.Peer, send.Tag, send.Bytes = 1, 5, 1000
+	recv := rec(trace.KindRecv, 50, 300)
+	recv.Peer, recv.Tag, recv.Bytes = 0, 5, 1000
+	set := mkset(t,
+		[]trace.Record{rec(trace.KindInit, 0, 10), send, rec(trace.KindFinalize, 400, 400)},
+		// The receiver runs 200 cycles longer, so it defines the
+		// perturbed makespan even though the sender's ack delay (2l)
+		// is larger than the receiver's data delay (l).
+		[]trace.Record{rec(trace.KindInit, 0, 10), recv, rec(trace.KindFinalize, 600, 600)},
+	)
+	model := &Model{MsgLatency: dist.Constant{C: l}}
+	res, err := Analyze(set, model, Options{RecordCritPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := res.CritPath
+	if cp == nil {
+		t.Fatal("RecordCritPath set but Result.CritPath is nil")
+	}
+	// Sanity on the delays themselves (Eq. 1 with only latency).
+	wantDelay(t, "sender final", res.Ranks[0].FinalDelay, 2*l)
+	wantDelay(t, "receiver final", res.Ranks[1].FinalDelay, l)
+
+	if cp.Sink != nref(1, 2, true) {
+		t.Fatalf("sink = %s, want r1.e2.e", cp.Sink)
+	}
+	wantBlame(t, "sink delay", cp.SinkDelay, l)
+	wantBlame(t, "sink offset", cp.SinkOffset, 0)
+	wantPath(t, cp, []NodeRef{
+		nref(0, 0, false), // rank 0 init start (zero-delay source)
+		nref(0, 0, true),  // init end
+		nref(0, 1, false), // send post
+		nref(1, 1, true),  // message edge: recv completion on rank 1
+		nref(1, 2, false), // finalize start
+		nref(1, 2, true),  // finalize end = sink
+	})
+	wantBlame(t, "local", cp.KindBlame[EdgeLocal], 0)
+	wantBlame(t, "message", cp.KindBlame[EdgeMessage], l)
+	wantBlame(t, "collective", cp.KindBlame[EdgeCollective], 0)
+	wantBlame(t, "rank0", cp.RankBlame[0], 0)
+	wantBlame(t, "rank1", cp.RankBlame[1], l)
+	// The message step is the one carrying the delta.
+	if s := cp.Steps[3]; s.Kind != EdgeMessage || math.Abs(s.Delta-l) > 1e-9 {
+		t.Fatalf("message step = %+v, want message/+%g", s, l)
+	}
+}
+
+// TestCritPath4RankCollectiveHubTie: four ranks enter a barrier with
+// identical inbound delays and identical l_delta contributions, so the
+// hub argmax is a four-way tie. The tie must break deterministically
+// to the lowest rank: the sink rank's path crosses the collective edge
+// into rank 0's barrier post.
+func TestCritPath4RankCollectiveHubTie(t *testing.T) {
+	const (
+		p = 4
+		a = 5.0
+		l = 30.0
+	)
+	perRank := make([][]trace.Record, p)
+	for r := 0; r < p; r++ {
+		coll := rec(trace.KindBarrier, 100, 500)
+		coll.Seq, coll.CommSize = 1, p
+		fin := rec(trace.KindFinalize, 600, 600)
+		if r == 2 {
+			// Rank 2 runs longest, so it defines the makespan and its
+			// path must reach back to the tie-broken hub winner.
+			fin = rec(trace.KindFinalize, 700, 700)
+		}
+		perRank[r] = []trace.Record{rec(trace.KindInit, 0, 10), coll, fin}
+	}
+	model := &Model{
+		OSNoise:    dist.Constant{C: a},
+		MsgLatency: dist.Constant{C: l},
+	}
+	res, err := Analyze(mkset(t, perRank...), model, Options{RecordCritPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := res.CritPath
+	// l_delta = ceil(log2 4) = 2 rounds of (a + l) on top of the
+	// winner's inbound 2a; every rank adds its own 2a tail.
+	lDelta := 2 * (a + l)
+	wantDelay(t, "rank2 final", res.Ranks[2].FinalDelay, 2*a+lDelta+2*a)
+
+	if cp.Sink != nref(2, 2, true) {
+		t.Fatalf("sink = %s, want r2.e2.e", cp.Sink)
+	}
+	wantPath(t, cp, []NodeRef{
+		nref(0, 0, false), // tie broken to rank 0: path anchors at its init
+		nref(0, 0, true),
+		nref(0, 1, false), // rank 0's barrier post (the hub argmax)
+		nref(2, 1, true),  // collective edge into the sink rank's barrier end
+		nref(2, 2, false),
+		nref(2, 2, true),
+	})
+	wantBlame(t, "local", cp.KindBlame[EdgeLocal], 4*a)
+	wantBlame(t, "collective", cp.KindBlame[EdgeCollective], lDelta)
+	wantBlame(t, "message", cp.KindBlame[EdgeMessage], 0)
+	wantBlame(t, "rank0", cp.RankBlame[0], 2*a)
+	wantBlame(t, "rank2", cp.RankBlame[2], lDelta+2*a)
+	wantBlame(t, "rank1", cp.RankBlame[1], 0)
+	wantBlame(t, "rank3", cp.RankBlame[3], 0)
+	if s := cp.Steps[3]; s.Kind != EdgeCollective || math.Abs(s.Delta-lDelta) > 1e-9 {
+		t.Fatalf("collective step = %+v, want collective/+%g", s, lDelta)
+	}
+}
+
+// richSet is a 3-rank trace mixing messages and a collective, for the
+// identity tests below.
+func richSet(t *testing.T) *trace.Set {
+	t.Helper()
+	send01 := rec(trace.KindSend, 20, 120)
+	send01.Peer, send01.Tag, send01.Bytes = 1, 1, 4096
+	recv01 := rec(trace.KindRecv, 30, 120)
+	recv01.Peer, recv01.Tag, recv01.Bytes = 0, 1, 4096
+	send12 := rec(trace.KindSend, 150, 260)
+	send12.Peer, send12.Tag, send12.Bytes = 2, 2, 512
+	recv12 := rec(trace.KindRecv, 40, 260)
+	recv12.Peer, recv12.Tag, recv12.Bytes = 1, 2, 512
+	mkColl := func() trace.Record {
+		c := rec(trace.KindAllreduce, 300, 400)
+		c.Seq, c.CommSize, c.Bytes = 1, 3, 64
+		return c
+	}
+	return mkset(t,
+		[]trace.Record{rec(trace.KindInit, 0, 10), send01, mkColl(), rec(trace.KindFinalize, 500, 500)},
+		[]trace.Record{rec(trace.KindInit, 0, 10), recv01, send12, mkColl(), rec(trace.KindFinalize, 520, 520)},
+		[]trace.Record{rec(trace.KindInit, 0, 10), recv12, mkColl(), rec(trace.KindFinalize, 490, 490)},
+	)
+}
+
+// TestCritPathBlameTelescopes: the per-step deltas must sum exactly to
+// the sink delay, and SinkDelay + SinkOffset must equal the reported
+// MakespanDelay, in every propagation/collective mode — the deltas are
+// differences of recorded delays, so the sum telescopes by
+// construction and any mismatch means the recorded argmax disagrees
+// with the propagation.
+func TestCritPathBlameTelescopes(t *testing.T) {
+	cases := []struct {
+		name  string
+		model Model
+	}{
+		{"additive_approx", Model{Seed: 7, OSNoise: dist.Exponential{MeanValue: 40}, MsgLatency: dist.Exponential{MeanValue: 90}, PerByte: dist.Constant{C: 0.02}}},
+		{"additive_explicit", Model{Seed: 9, OSNoise: dist.Exponential{MeanValue: 40}, MsgLatency: dist.Constant{C: 55}, Collectives: CollectiveExplicit, CollectiveBytes: true}},
+		{"anchored", Model{Seed: 11, OSNoise: dist.Exponential{MeanValue: 160}, MsgLatency: dist.Exponential{MeanValue: 120}, Propagation: PropagationAnchored}},
+		{"negative", Model{Seed: 13, OSNoise: dist.Normal{Mu: 0, Sigma: 50}, MsgLatency: dist.Constant{C: 30}, AllowNegative: true}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Analyze(richSet(t), &tc.model, Options{RecordCritPath: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp := res.CritPath
+			var sum float64
+			for _, s := range cp.Steps {
+				sum += s.Delta
+			}
+			wantBlame(t, "step sum vs sink delay", sum, cp.SinkDelay)
+			kindSum := cp.KindBlame[0] + cp.KindBlame[1] + cp.KindBlame[2]
+			wantBlame(t, "kind blame vs sink delay", kindSum, cp.SinkDelay)
+			var rankSum float64
+			for _, v := range cp.RankBlame {
+				rankSum += v
+			}
+			wantBlame(t, "rank blame vs sink delay", rankSum, cp.SinkDelay)
+			wantBlame(t, "makespan identity", cp.SinkDelay+cp.SinkOffset, res.MakespanDelay)
+			if cp.Steps[0].Delay != 0 || cp.Steps[0].Node.End || cp.Steps[0].Node.Event != 0 {
+				t.Fatalf("path source is not a first-event start: %+v", cp.Steps[0])
+			}
+			if last := cp.Steps[len(cp.Steps)-1]; last.Node != cp.Sink || math.Abs(last.Delay-cp.SinkDelay) > 1e-9 {
+				t.Fatalf("path tail %+v does not land on sink %s/%g", last, cp.Sink, cp.SinkDelay)
+			}
+		})
+	}
+}
+
+// TestCritPathDeterminismUnchangedDelays: enabling argmax recording
+// and metrics must not change a single propagated delay.
+func TestCritPathDeterminismUnchangedDelays(t *testing.T) {
+	model := Model{Seed: 3, OSNoise: dist.Exponential{MeanValue: 75}, MsgLatency: dist.Exponential{MeanValue: 130}, PerByte: dist.Constant{C: 0.01}}
+	plain, err := Analyze(richSet(t), model.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented, err := Analyze(richSet(t), model.Clone(), Options{RecordCritPath: true, Metrics: obsv.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.MaxFinalDelay != instrumented.MaxFinalDelay ||
+		plain.MeanFinalDelay != instrumented.MeanFinalDelay ||
+		plain.MakespanDelay != instrumented.MakespanDelay {
+		t.Fatalf("aggregates changed under instrumentation: %+v vs %+v", plain, instrumented)
+	}
+	for r := range plain.Ranks {
+		if plain.Ranks[r].FinalDelay != instrumented.Ranks[r].FinalDelay {
+			t.Fatalf("rank %d delay changed: %g vs %g", r,
+				plain.Ranks[r].FinalDelay, instrumented.Ranks[r].FinalDelay)
+		}
+	}
+	if plain.DelayStats != instrumented.DelayStats {
+		t.Fatalf("subevent delay stats changed: %+v vs %+v", plain.DelayStats, instrumented.DelayStats)
+	}
+}
+
+// TestCritPathZeroModel: a zero model yields an all-zero path down the
+// sink rank's local chain — every blame bucket empty.
+func TestCritPathZeroModel(t *testing.T) {
+	res, err := Analyze(richSet(t), &Model{}, Options{RecordCritPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := res.CritPath
+	wantBlame(t, "sink delay", cp.SinkDelay, 0)
+	for _, s := range cp.Steps {
+		if s.Delta != 0 {
+			t.Fatalf("zero model produced nonzero step %+v", s)
+		}
+	}
+	wantBlame(t, "makespan identity", cp.SinkDelay+cp.SinkOffset, res.MakespanDelay)
+}

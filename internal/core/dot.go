@@ -86,6 +86,26 @@ func BuildGraph(set *trace.Set) (*Graph, error) {
 // one cluster per rank with its straight-line chain of subevents,
 // message edges dashed, collective edges dotted.
 func (g *Graph) DOT(title string) string {
+	return g.dot(title, nil)
+}
+
+// DOTWithPath renders the graph with a critical path overlaid: path
+// nodes are filled, edges between consecutive path nodes are bold
+// crimson, and path hops with no materialized edge (collective-hub
+// shortcuts) gain a synthetic "crit" edge.
+func (g *Graph) DOTWithPath(title string, path []PathStep) string {
+	return g.dot(title, path)
+}
+
+func (g *Graph) dot(title string, path []PathStep) string {
+	onPath := map[NodeRef]bool{}
+	hop := map[[2]NodeRef]bool{}
+	for i, s := range path {
+		onPath[s.Node] = true
+		if i > 0 {
+			hop[[2]NodeRef{path[i-1].Node, s.Node}] = true
+		}
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph mpg {\n")
 	fmt.Fprintf(&b, "  label=%q;\n", title)
@@ -111,8 +131,12 @@ func (g *Graph) DOT(title string) string {
 		})
 		fmt.Fprintf(&b, "  subgraph cluster_rank%d {\n    label=\"rank %d\";\n", r, r)
 		for _, n := range ns {
-			fmt.Fprintf(&b, "    %q [label=\"%s %s\\n@%d\"];\n",
-				n.Ref.String(), n.Kind, side(n.Ref), n.Time)
+			hi := ""
+			if onPath[n.Ref] {
+				hi = ", style=filled, fillcolor=lightpink"
+			}
+			fmt.Fprintf(&b, "    %q [label=\"%s %s\\n@%d\"%s];\n",
+				n.Ref.String(), n.Kind, side(n.Ref), n.Time, hi)
 		}
 		fmt.Fprintf(&b, "  }\n")
 	}
@@ -139,12 +163,33 @@ func (g *Graph) DOT(title string) string {
 			style = "dotted"
 			extra = ", color=blue"
 		}
+		key := [2]NodeRef{e.From, e.To}
+		if hop[key] {
+			extra = ", color=crimson, penwidth=2.5"
+			delete(hop, key)
+		}
 		label := e.Label
 		if e.Kind == EdgeLocal {
 			label = fmt.Sprintf("%s w=%d", e.Label, e.Weight)
 		}
 		fmt.Fprintf(&b, "  %q -> %q [label=%q, style=%s%s];\n",
 			e.From.String(), e.To.String(), label, style, extra)
+	}
+	// Path hops with no materialized edge (e.g. the winner-start →
+	// participant-end shortcut through a collective hub).
+	rest := make([][2]NodeRef, 0, len(hop))
+	for k := range hop {
+		rest = append(rest, k)
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i][0] != rest[j][0] {
+			return lessRef(rest[i][0], rest[j][0])
+		}
+		return lessRef(rest[i][1], rest[j][1])
+	})
+	for _, k := range rest {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"crit\", style=bold, color=crimson, penwidth=2.5];\n",
+			k[0].String(), k[1].String())
 	}
 	fmt.Fprintf(&b, "}\n")
 	return b.String()

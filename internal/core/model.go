@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"mpgraph/internal/dist"
+	"mpgraph/internal/obsv"
 )
 
 // PropagationMode selects how injected deltas combine with traced
@@ -188,6 +189,17 @@ type Options struct {
 	// absorbed or fully propagated" (§4.2). Events arrive in per-rank
 	// order but interleaved across ranks.
 	Trajectory func(TrajectoryPoint)
+	// RecordCritPath records the argmax predecessor at every max()
+	// merge so Result.CritPath can name the edges behind the makespan
+	// delay. Recording never alters propagated delays (no sample is
+	// drawn and no comparison changes), at the cost of O(events)
+	// memory.
+	RecordCritPath bool
+	// Metrics, when non-nil, receives engine counters (events, edges,
+	// matches, samples drawn, window high-water) and the analyze phase
+	// timer. Metrics are out-of-band: attaching a registry changes no
+	// analysis result.
+	Metrics *obsv.Registry
 }
 
 // TrajectoryPoint is one event's delay observation.
@@ -216,6 +228,11 @@ type sampler struct {
 	rankRNG  []*dist.RNG
 	msgRNG   *dist.RNG
 	negative bool
+
+	// Sample counts for the metrics flush. Plain ints: a sampler
+	// belongs to one single-goroutine analysis, so the counts go
+	// through the shared registry only once, at the end of the run.
+	nNoise, nMsg int64
 }
 
 func newSampler(m *Model, nranks int) *sampler {
@@ -255,6 +272,7 @@ func (s *sampler) osNoise(rank int) float64 {
 	if d == nil {
 		return 0
 	}
+	s.nNoise++
 	return s.clamp(d.Sample(s.rankRNG[rank]))
 }
 
@@ -278,6 +296,7 @@ func (s *sampler) computeNoise(rank int, w int64) float64 {
 		n = MaxNoiseSamplesPerEdge
 	}
 	var sum float64
+	s.nNoise += n
 	for i := int64(0); i < n; i++ {
 		sum += s.clamp(d.Sample(s.rankRNG[rank]))
 	}
@@ -292,6 +311,7 @@ func (s *sampler) latency() float64 {
 	if s.model.MsgLatency == nil {
 		return 0
 	}
+	s.nMsg++
 	return s.clamp(s.model.MsgLatency.Sample(s.msgRNG))
 }
 
@@ -300,5 +320,6 @@ func (s *sampler) perByte(bytes int64) float64 {
 	if s.model.PerByte == nil || bytes <= 0 {
 		return 0
 	}
+	s.nMsg++
 	return s.clamp(s.model.PerByte.Sample(s.msgRNG) * float64(bytes))
 }

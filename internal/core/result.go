@@ -152,6 +152,9 @@ type Result struct {
 	// Section 4.3 warning for ranks that use only asynchronous sends
 	// with no completion check.
 	Warnings []string
+	// CritPath is the makespan blame decomposition; nil unless the
+	// analysis ran with Options.RecordCritPath.
+	CritPath *CriticalPath
 }
 
 // warnf appends a formatted warning.

@@ -18,6 +18,7 @@ import (
 	"mpgraph/internal/machine"
 	"mpgraph/internal/microbench"
 	"mpgraph/internal/mpi"
+	"mpgraph/internal/obsv"
 	"mpgraph/internal/parallel"
 	"mpgraph/internal/report"
 	"mpgraph/internal/trace"
@@ -38,6 +39,9 @@ type Config struct {
 	// seeded from Config.Seed and the grid point alone, and rows are
 	// assembled in grid order after collection.
 	Workers int
+	// Metrics, when non-nil, receives pool observability from every
+	// grid fan-out (out-of-band; tables and verdicts are unchanged).
+	Metrics *obsv.Registry
 }
 
 func (c Config) pick(full, quick int) int {
@@ -48,7 +52,9 @@ func (c Config) pick(full, quick int) int {
 }
 
 // pool returns the fan-out options for grid experiments.
-func (c Config) pool() parallel.Options { return parallel.Options{Workers: c.Workers} }
+func (c Config) pool() parallel.Options {
+	return parallel.Options{Workers: c.Workers, Metrics: c.Metrics}
+}
 
 // Outcome is one experiment's result.
 type Outcome struct {

@@ -1,0 +1,119 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a live completion reporter for long fan-outs (sweeps,
+// Monte Carlo studies): workers call Add as tasks finish and a ticker
+// goroutine repaints one status line on the writer (normally stderr,
+// so piped CSV output stays clean). All methods are nil-safe, so a
+// disabled reporter costs one atomic add per task.
+type Progress struct {
+	w        io.Writer
+	label    string
+	total    int64
+	interval time.Duration
+	start    time.Time
+
+	done atomic.Int64
+
+	mu     sync.Mutex // serializes writes
+	stop   chan struct{}
+	closed sync.Once
+	wg     sync.WaitGroup
+}
+
+// NewProgress starts a reporter for total units of work, repainting
+// every interval (250ms when zero or negative).
+func NewProgress(w io.Writer, label string, total int, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	p := &Progress{
+		w:        w,
+		label:    label,
+		total:    int64(total),
+		interval: interval,
+		start:    time.Now(),
+		stop:     make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+func (p *Progress) loop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-tick.C:
+			p.paint(false)
+		}
+	}
+}
+
+// Add records n more completed units.
+func (p *Progress) Add(n int) {
+	if p != nil {
+		p.done.Add(int64(n))
+	}
+}
+
+// Done stops the ticker and paints a final line terminated by a
+// newline. Safe to call more than once.
+func (p *Progress) Done() {
+	if p == nil {
+		return
+	}
+	p.closed.Do(func() {
+		close(p.stop)
+		p.wg.Wait()
+		p.paint(true)
+	})
+}
+
+func (p *Progress) paint(final bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	line := renderProgress(p.label, p.done.Load(), p.total, time.Since(p.start))
+	if final {
+		fmt.Fprintf(p.w, "\r%s\n", line)
+	} else {
+		fmt.Fprintf(p.w, "\r%s", line)
+	}
+}
+
+// renderProgress formats one status line: label, done/total, percent,
+// elapsed wall time and a crude remaining-time estimate.
+func renderProgress(label string, done, total int64, elapsed time.Duration) string {
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(done) / float64(total)
+	}
+	line := fmt.Sprintf("%s %d/%d (%.0f%%) elapsed %s", label, done, total, pct, roundDur(elapsed))
+	if done > 0 && done < total {
+		eta := time.Duration(float64(elapsed) * float64(total-done) / float64(done))
+		line += fmt.Sprintf(" eta %s", roundDur(eta))
+	}
+	return line
+}
+
+func roundDur(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second)
+	case d >= time.Second:
+		return d.Round(100 * time.Millisecond)
+	default:
+		return d.Round(time.Millisecond)
+	}
+}

@@ -28,6 +28,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"mpgraph/internal/obsv"
 )
 
 // Options tunes a fan-out.
@@ -35,6 +38,12 @@ type Options struct {
 	// Workers bounds the worker pool. Zero or negative means
 	// runtime.GOMAXPROCS(0). The pool never exceeds the task count.
 	Workers int
+	// Metrics, when non-nil, receives pool observability: a
+	// parallel_task_ms latency histogram, tasks/failures counters, the
+	// effective pool size, and a parallel_pool_utilization gauge
+	// (busy time / (workers × wall time) of the last fan-out). Metrics
+	// are out-of-band: they never influence scheduling or results.
+	Metrics *obsv.Registry
 }
 
 // workers resolves the effective pool size for n tasks.
@@ -107,6 +116,15 @@ func Map[T any](n int, opts Options, fn func(task int) (T, error)) ([]T, error) 
 	results := make([]T, n)
 	errs := make([]error, n)
 
+	// Instrument handles are nil when no registry is attached; every
+	// method on them is then a no-op, so the hot path never branches.
+	m := opts.Metrics
+	taskMS := m.Histogram("parallel_task_ms", obsv.ExpBuckets(0.01, 4, 12))
+	nTasks := m.Counter("parallel_tasks_total")
+	nFails := m.Counter("parallel_task_failures_total")
+	mapStart := time.Now()
+	defer m.Timer("parallel_map").Start()()
+
 	var next atomic.Int64  // next unclaimed task index
 	var failed atomic.Bool // set on first observed failure
 	var wg sync.WaitGroup
@@ -127,7 +145,12 @@ func Map[T any](n int, opts Options, fn func(task int) (T, error)) ([]T, error) 
 			if i >= n {
 				return
 			}
-			if err := runTask(i, fn, &results[i]); err != nil {
+			t0 := time.Now()
+			err := runTask(i, fn, &results[i])
+			taskMS.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+			nTasks.Inc()
+			if err != nil {
+				nFails.Inc()
 				errs[i] = err
 				failed.Store(true)
 				return
@@ -135,11 +158,18 @@ func Map[T any](n int, opts Options, fn func(task int) (T, error)) ([]T, error) 
 		}
 	}
 	w := opts.workers(n)
+	m.Gauge("parallel_pool_workers").SetMax(float64(w))
 	wg.Add(w)
 	for k := 0; k < w; k++ {
 		go worker()
 	}
 	wg.Wait()
+
+	if m != nil {
+		if wall := float64(time.Since(mapStart)) / float64(time.Millisecond); wall > 0 {
+			m.Gauge("parallel_pool_utilization").Set(taskMS.Sum() / (float64(w) * wall))
+		}
+	}
 
 	if failed.Load() {
 		for i, err := range errs {

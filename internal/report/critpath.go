@@ -1,0 +1,95 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"mpgraph/internal/core"
+)
+
+// CritPath renders a critical-path blame decomposition: the makespan
+// identity, per-kind and per-rank blame tables, and the argmax chain
+// itself. Runs of consecutive zero-delta steps (path segments that
+// ride along without hurting) are elided to keep long paths readable.
+func CritPath(w io.Writer, cp *core.CriticalPath) error {
+	if cp == nil {
+		_, err := fmt.Fprintln(w, "no critical path recorded")
+		return err
+	}
+	fmt.Fprintf(w, "## critical path\n")
+	fmt.Fprintf(w, "sink=%s sink-delay=%.3f sink-offset=%.3f makespan-delay=%.3f cycles\n",
+		cp.Sink, cp.SinkDelay, cp.SinkOffset, cp.SinkDelay+cp.SinkOffset)
+
+	kinds := NewTable("blame by edge kind", "kind", "delay", "share")
+	for k, blame := range cp.KindBlame {
+		kinds.AddRow(core.EdgeKind(k).String(), blame, shareOf(blame, cp.SinkDelay))
+	}
+	if err := kinds.Render(w); err != nil {
+		return err
+	}
+
+	ranks := NewTable("blame by rank (nonzero only)", "rank", "delay", "share")
+	for r, blame := range cp.RankBlame {
+		if blame != 0 {
+			ranks.AddRow(r, blame, shareOf(blame, cp.SinkDelay))
+		}
+	}
+	if ranks.NumRows() == 0 {
+		ranks.AddRow("-", 0.0, "-")
+	}
+	if err := ranks.Render(w); err != nil {
+		return err
+	}
+
+	steps := NewTable("path (source → sink)", "node", "edge", "delta", "delay")
+	zeros := 0
+	flush := func() {
+		if zeros > 0 {
+			steps.AddRow(fmt.Sprintf("... (%d zero-delta steps)", zeros), "", "", "")
+			zeros = 0
+		}
+	}
+	for i, s := range cp.Steps {
+		kind := s.Kind.String()
+		if i == 0 {
+			kind = "source"
+		}
+		if i != 0 && i != len(cp.Steps)-1 && s.Delta == 0 {
+			zeros++
+			continue
+		}
+		flush()
+		steps.AddRow(s.Node.String(), kind, s.Delta, s.Delay)
+	}
+	flush()
+	return steps.Render(w)
+}
+
+func shareOf(part, total float64) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*part/total)
+}
+
+// CritPathCSV writes the full (unelided) path as CSV.
+func CritPathCSV(w io.Writer, cp *core.CriticalPath) error {
+	if _, err := fmt.Fprintln(w, "step,rank,event,side,kind,delta,delay"); err != nil {
+		return err
+	}
+	for i, s := range cp.Steps {
+		side := "start"
+		if s.Node.End {
+			side = "end"
+		}
+		kind := s.Kind.String()
+		if i == 0 {
+			kind = "source"
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%s,%s,%.6f,%.6f\n",
+			i, s.Node.Rank, s.Node.Event, side, kind, s.Delta, s.Delay); err != nil {
+			return err
+		}
+	}
+	return nil
+}

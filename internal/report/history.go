@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"mpgraph/internal/core"
+	"mpgraph/internal/obsv"
 )
 
 // HistoryEntry is one analysis run's archived summary — the "history
@@ -29,6 +30,20 @@ type HistoryEntry struct {
 	MakespanDelay float64 `json:"makespan_delay"`
 	// Warnings carries the analysis caveats.
 	Warnings []string `json:"warnings,omitempty"`
+	// DurationMS is the wall time of the run that produced the entry.
+	DurationMS float64 `json:"duration_ms,omitempty"`
+	// PhaseMS breaks DurationMS down by instrumented phase (an
+	// obsv.Snapshot's timer totals, e.g. core_analyze).
+	PhaseMS map[string]float64 `json:"phase_ms,omitempty"`
+}
+
+// AttachTiming records the run's wall time and the per-phase totals of
+// a metrics snapshot on the entry.
+func (e *HistoryEntry) AttachTiming(durationMS float64, snap obsv.Snapshot) {
+	e.DurationMS = durationMS
+	if ms := snap.PhaseMS(); len(ms) > 0 {
+		e.PhaseMS = ms
+	}
 }
 
 // NewHistoryEntry summarizes an analysis result.

@@ -14,11 +14,13 @@ package sweep
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mpgraph/internal/core"
 	"mpgraph/internal/dist"
 	"mpgraph/internal/machine"
 	"mpgraph/internal/mpi"
+	"mpgraph/internal/obsv"
 	"mpgraph/internal/parallel"
 	"mpgraph/internal/trace"
 	"mpgraph/internal/workloads"
@@ -104,6 +106,17 @@ type Config struct {
 	// per-point Result is trial 0's; the aggregate lands in
 	// Point.Trials. Values <= 1 run the classic single replay.
 	Trials int
+	// Metrics, when non-nil, receives sweep observability: tracing
+	// phase timers, point/trial counters, the pool metrics (it is
+	// passed into the worker pool), and — unless Analyze.Metrics is
+	// already set — the engine counters of every replay. Out-of-band:
+	// attaching a registry changes no sweep result.
+	Metrics *obsv.Registry
+	// Progress, when non-nil, is invoked once per completed replay task
+	// with the number done so far and the total. It is called from
+	// worker goroutines and must be safe for concurrent use
+	// (obsv.Progress.Add is; so is any atomic counter).
+	Progress func(done, total int)
 }
 
 // Point is one sweep observation.
@@ -177,6 +190,7 @@ func (cfg Config) pointModel(v float64) (*core.Model, machine.Config, error) {
 // pure function of (workload, options, machine config), so concurrent
 // points re-trace independently.
 func (cfg Config) tracePoint(v float64, mcfg machine.Config) (*trace.Set, error) {
+	defer cfg.Metrics.Timer("sweep_trace").Start()()
 	prog, err := workloads.BuildByName(cfg.Workload, cfg.WorkloadOptions)
 	if err != nil {
 		return nil, err
@@ -199,11 +213,18 @@ func Run(cfg Config) (*Result, error) {
 	}
 	vals := cfg.Values()
 	out := &Result{Param: cfg.Param}
-	popts := parallel.Options{Workers: cfg.Workers}
+	popts := parallel.Options{Workers: cfg.Workers, Metrics: cfg.Metrics}
+	if cfg.Analyze.Metrics == nil {
+		cfg.Analyze.Metrics = cfg.Metrics
+	}
+	defer cfg.Metrics.Timer("sweep_run").Start()()
+	cfg.Metrics.Counter("sweep_points_total").Add(int64(len(vals)))
 
 	var xs, ys []float64
 	if cfg.Trials <= 1 {
+		tick := cfg.progressTick(len(vals))
 		results, err := parallel.Map(len(vals), popts, func(i int) (*core.Result, error) {
+			defer tick()
 			v := vals[i]
 			model, mcfg, err := cfg.pointModel(v)
 			if err != nil {
@@ -273,7 +294,10 @@ func (ps *pointSnap) get(cfg Config, v float64, mcfg machine.Config) (*trace.Sna
 func (cfg Config) runTrials(vals []float64, popts parallel.Options) ([]Point, error) {
 	trials := cfg.Trials
 	snaps := make([]pointSnap, len(vals))
+	cfg.Metrics.Counter("sweep_trials_total").Add(int64(len(vals) * trials))
+	tick := cfg.progressTick(len(vals) * trials)
 	results, err := parallel.Map(len(vals)*trials, popts, func(t int) (*core.Result, error) {
+		defer tick()
 		p := t / trials
 		v := vals[p]
 		model, mcfg, err := cfg.pointModel(v)
@@ -319,6 +343,19 @@ func (cfg Config) runTrials(vals []float64, popts parallel.Options) ([]Point, er
 		}
 	}
 	return points, nil
+}
+
+// progressTick adapts Config.Progress into a per-task completion hook.
+// The done count is an atomic, so the hook is safe to call from any
+// worker; a nil Progress yields a no-op.
+func (cfg Config) progressTick(total int) func() {
+	if cfg.Progress == nil {
+		return func() {}
+	}
+	var done atomic.Int64
+	return func() {
+		cfg.Progress(int(done.Add(1)), total)
+	}
 }
 
 // unwrapTask strips the engine's task wrapper so sweep callers see the

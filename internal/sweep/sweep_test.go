@@ -2,9 +2,11 @@ package sweep
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"mpgraph/internal/machine"
+	"mpgraph/internal/obsv"
 	"mpgraph/internal/workloads"
 )
 
@@ -125,5 +127,103 @@ func TestRunErrors(t *testing.T) {
 	if _, err := Run(Config{Workload: "tokenring", Param: ParamRanks,
 		From: 0, To: 1, Step: 1, Machine: machine.Config{NRanks: 2}}); err == nil {
 		t.Fatal("ranks < 1 accepted")
+	}
+}
+
+func TestMetricsAndProgress(t *testing.T) {
+	reg := obsv.NewRegistry()
+	var mu sync.Mutex
+	var lastDone, calls int
+	res, err := Run(Config{
+		Workload:        "tokenring",
+		WorkloadOptions: workloads.Options{Iterations: 3},
+		Machine:         machine.Config{NRanks: 4, Seed: 5},
+		Param:           ParamLatency,
+		From:            0, To: 200, Step: 100,
+		Trials:  3,
+		Workers: 2,
+		Metrics: reg,
+		Progress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			if done > lastDone {
+				lastDone = done
+			}
+			if total != 9 {
+				t.Errorf("progress total = %d, want 9", total)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	mu.Lock()
+	if calls != 9 || lastDone != 9 {
+		t.Fatalf("progress calls = %d, max done = %d, want 9/9", calls, lastDone)
+	}
+	mu.Unlock()
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"sweep_points_total":   3,
+		"sweep_trials_total":   9,
+		"parallel_tasks_total": 9,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	// Engine counters flow through Analyze.Metrics defaulting: 9 replays.
+	if got := snap.Counters["core_analyses_total"]; got != 9 {
+		t.Errorf("core_analyses_total = %d, want 9", got)
+	}
+	if snap.Counters["core_events_total"] == 0 {
+		t.Error("core_events_total is zero")
+	}
+	if ms := snap.PhaseMS(); ms["sweep_run"] <= 0 || ms["sweep_trace"] <= 0 || ms["core_analyze"] <= 0 {
+		t.Errorf("phase timings not all positive: %v", ms)
+	}
+	if h, ok := snap.Histograms["parallel_task_ms"]; !ok || h.Count != 9 {
+		t.Errorf("parallel_task_ms histogram = %+v", snap.Histograms["parallel_task_ms"])
+	}
+	if w := snap.Gauges["parallel_pool_workers"]; w != 2 {
+		t.Errorf("pool workers gauge = %g, want 2", w)
+	}
+}
+
+// TestMetricsDoNotChangeResults: the same sweep with and without a
+// registry attached must produce identical delay series.
+func TestMetricsDoNotChangeResults(t *testing.T) {
+	base := Config{
+		Workload:        "stencil1d",
+		WorkloadOptions: workloads.Options{Iterations: 3},
+		Machine:         machine.Config{NRanks: 4, Seed: 6},
+		Param:           ParamNoise,
+		From:            50, To: 150, Step: 50,
+		ModelSeed: 11,
+		Trials:    2,
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr := base
+	instr.Metrics = obsv.NewRegistry()
+	instr.Progress = func(done, total int) {}
+	got, err := Run(instr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Points {
+		if plain.Points[i].Result.MaxFinalDelay != got.Points[i].Result.MaxFinalDelay ||
+			*plain.Points[i].Trials != *got.Points[i].Trials {
+			t.Fatalf("point %d diverged under instrumentation", i)
+		}
+	}
+	if plain.Fit != got.Fit {
+		t.Fatalf("fit diverged: %+v vs %+v", plain.Fit, got.Fit)
 	}
 }
