@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments fuzz tools clean
+.PHONY: all build test race cover bench experiments fuzz verify tools clean
 
 all: build test
 
@@ -29,6 +29,12 @@ experiments: tools
 fuzz:
 	$(GO) test -fuzz=FuzzDecoder -fuzztime=30s ./internal/trace
 	$(GO) test -fuzz=FuzzTextReader -fuzztime=30s ./internal/trace
+	$(GO) test -fuzz=FuzzTextRoundTrip -fuzztime=30s ./internal/trace
+
+# Differential verification: graph traversal vs the DES oracle,
+# metamorphic properties, trace/graph linter (doc/VERIFY.md).
+verify:
+	$(GO) run ./cmd/mpg-verify -seed 1 -n 200
 
 tools:
 	$(GO) build -o bin/ ./cmd/...

@@ -41,6 +41,19 @@ type Params struct {
 	OSNoise dist.Distribution
 	// Seed drives noise sampling.
 	Seed uint64
+	// EagerData, when true, anchors each transfer at the sender: the
+	// payload departs when the send posts and arrives commTime later,
+	// so a receiver posting after the arrival finds the data already
+	// delivered — the timing structure of the graph model's Fig. 2
+	// data path. False keeps the classic Dimemas rendezvous, where the
+	// transfer starts only once both sides are ready. The differential
+	// verification harness (internal/verify) uses eager mode so the
+	// two engines' merge structures align edge for edge.
+	EagerData bool
+	// MaxEvents aborts the replay with an error once the simulator has
+	// fired this many events (0 = unbounded) — a guard for randomized
+	// campaigns over generated traces.
+	MaxEvents uint64
 }
 
 // Result is the replay outcome.
@@ -115,20 +128,28 @@ type replayer struct {
 	procs  []*rankProc
 	queues map[xferKey][]*xfer
 	colls  map[collKey]*coll
+	ret    *retimeState // non-nil only under ReplayRetimed
 }
 
 // Replay rebuilds the traced run under the linear model. The trace's
 // per-rank timestamps are interpreted on a shared global clock (the
 // Dimemas assumption; feed aligned-clock traces).
 func Replay(set *trace.Set, p Params) (*Result, error) {
+	res, _, err := replay(set, p, false)
+	return res, err
+}
+
+// replay is the shared implementation; retime additionally rebuilds
+// the trace on the replayed schedule and accounts merge slack.
+func replay(set *trace.Set, p Params, retime bool) (*Result, *retimeState, error) {
 	if p.CPURatio == 0 {
 		p.CPURatio = 1.0
 	}
 	if p.CPURatio < 0 {
-		return nil, fmt.Errorf("baseline: negative CPU ratio %g", p.CPURatio)
+		return nil, nil, fmt.Errorf("baseline: negative CPU ratio %g", p.CPURatio)
 	}
 	if p.Latency < 0 {
-		return nil, fmt.Errorf("baseline: negative latency %d", p.Latency)
+		return nil, nil, fmt.Errorf("baseline: negative latency %d", p.Latency)
 	}
 	n := set.NRanks()
 	r := &replayer{
@@ -139,13 +160,22 @@ func Replay(set *trace.Set, p Params) (*Result, error) {
 		queues: map[xferKey][]*xfer{},
 		colls:  map[collKey]*coll{},
 	}
+	if p.MaxEvents > 0 {
+		r.sim.SetLimit(p.MaxEvents)
+	}
+	if retime {
+		r.ret = &retimeState{
+			recs: make([][]trace.Record, n),
+			hdrs: make([]trace.Header, n),
+		}
+	}
 	root := dist.NewRNG(p.Seed)
 	res := &Result{FinalTimes: make([]int64, n)}
 	for rank := 0; rank < n; rank++ {
 		r.rng[rank] = root.ForkNamed(fmt.Sprintf("rank-%d", rank))
 		recs, err := readAll(set.Rank(rank))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		res.Records += int64(len(recs))
 		r.procs[rank] = &rankProc{
@@ -154,12 +184,19 @@ func Replay(set *trace.Set, p Params) (*Result, error) {
 			reqs:  map[uint64]*xfer{},
 			reqIs: map[uint64]bool{},
 		}
+		if r.ret != nil {
+			r.ret.hdrs[rank] = set.Rank(rank).Header()
+			r.ret.recs[rank] = append([]trace.Record(nil), recs...)
+		}
 	}
 	for _, pr := range r.procs {
 		pr := pr
 		r.sim.At(0, des.EventFunc(func(*des.Sim) { r.advance(pr) }))
 	}
 	r.sim.Run()
+	if r.sim.LimitReached() {
+		return nil, nil, fmt.Errorf("baseline: replay exceeded the %d-event budget", p.MaxEvents)
+	}
 
 	var stuck []string
 	for rank, pr := range r.procs {
@@ -173,10 +210,10 @@ func Replay(set *trace.Set, p Params) (*Result, error) {
 	}
 	if len(stuck) > 0 {
 		sort.Strings(stuck)
-		return nil, fmt.Errorf("baseline: replay deadlocked: %v", stuck)
+		return nil, nil, fmt.Errorf("baseline: replay deadlocked: %v", stuck)
 	}
 	res.EventsFired = r.sim.Fired()
-	return res, nil
+	return res, r.ret, nil
 }
 
 func readAll(rd trace.Reader) ([]trace.Record, error) {
@@ -230,6 +267,9 @@ func (r *replayer) advance(pr *rankProc) {
 				pr.t += r.gapTime(pr.rank, gap)
 			}
 			pr.gapDone = true
+			if r.ret != nil {
+				r.ret.recs[pr.rank][pr.idx].Begin = pr.t
+			}
 		}
 		switch {
 		case rec.Kind == trace.KindInit || rec.Kind == trace.KindFinalize ||
@@ -247,6 +287,7 @@ func (r *replayer) advance(pr *rankProc) {
 				return // parked; resolver reschedules us
 			}
 			s := x.arrival + r.params.Latency // rendezvous ack
+			r.noteMergeSlack(pr.t, s)
 			if s > pr.t {
 				pr.t = s
 			}
@@ -261,6 +302,7 @@ func (r *replayer) advance(pr *rankProc) {
 				x.recvWaiter = pr
 				return
 			}
+			r.noteMergeSlack(pr.t, x.arrival)
 			if x.arrival > pr.t {
 				pr.t = x.arrival
 			}
@@ -290,6 +332,7 @@ func (r *replayer) advance(pr *rankProc) {
 			if pr.reqIs[rec.Req] {
 				c += r.params.Latency // ack
 			}
+			r.noteMergeSlack(pr.t, c)
 			if c > pr.t {
 				pr.t = c
 			}
@@ -318,9 +361,28 @@ func (r *replayer) advance(pr *rankProc) {
 		default:
 			pr.t += rec.Duration()
 		}
+		if r.ret != nil {
+			r.ret.recs[pr.rank][pr.idx].End = pr.t
+		}
 		pr.step()
 	}
 	pr.done = true
+}
+
+// noteMergeSlack records the absolute gap between the two paths of a
+// max() merge in the base schedule. The total is the retimed replay's
+// slack budget: the graph model's delay overestimate at any node is
+// bounded by the merge slack accumulated along its path (doc/VERIFY.md
+// derives this), so the sum over all merges bounds it globally.
+func (r *replayer) noteMergeSlack(local, remote int64) {
+	if r.ret == nil {
+		return
+	}
+	d := local - remote
+	if d < 0 {
+		d = -d
+	}
+	r.ret.slack += d
 }
 
 // post registers one side of a transfer and resolves it when both
@@ -353,11 +415,22 @@ func (r *replayer) post(pr *rankProc, rec trace.Record, isSend bool) *xfer {
 		x.recvReadyAt = pr.t
 	}
 	if x.sendReady && x.recvReady && !x.done {
-		start := x.sendReadyAt
-		if x.recvReadyAt > start {
-			start = x.recvReadyAt
+		if r.params.EagerData {
+			// Sender-anchored: the payload left at the send post; a
+			// late receiver finds it delivered (Fig. 2 data path).
+			x.arrival = x.sendReadyAt + r.commTime(x.bytes)
+			r.noteMergeSlack(x.recvReadyAt, x.arrival)
+			if x.recvReadyAt > x.arrival {
+				x.arrival = x.recvReadyAt
+			}
+		} else {
+			start := x.sendReadyAt
+			if x.recvReadyAt > start {
+				start = x.recvReadyAt
+			}
+			r.noteMergeSlack(x.sendReadyAt, x.recvReadyAt)
+			x.arrival = start + r.commTime(x.bytes)
 		}
-		x.arrival = start + r.commTime(x.bytes)
 		x.done = true
 		r.dropMatched(key, x)
 		r.wakeXfer(x)
@@ -411,7 +484,11 @@ func (r *replayer) resolveColl(cs *coll) {
 	end := max + rounds*r.commTime(cs.bytes)
 	for _, pr := range cs.procs {
 		pr := pr
+		r.noteMergeSlack(pr.t, max)
 		pr.t = end
+		if r.ret != nil {
+			r.ret.recs[pr.rank][pr.idx].End = end
+		}
 		pr.step()
 		at := end
 		if at < r.sim.Now() {
@@ -431,3 +508,10 @@ func ceilLog2(p int) int {
 	}
 	return r
 }
+
+// CollectiveRounds is the number of commTime rounds the replayer
+// charges a p-participant collective: ceil(log2 p), minimum 1, for
+// every collective kind (the replayer models them all as dissemination
+// patterns). Exposed so the differential verification bounds can
+// account for the graph model's differing round counts.
+func CollectiveRounds(p int) int { return ceilLog2(p) }

@@ -1,0 +1,56 @@
+package baseline
+
+import (
+	"mpgraph/internal/trace"
+)
+
+// retimeState accumulates the retimed schedule while a replay runs.
+type retimeState struct {
+	recs  [][]trace.Record
+	hdrs  []trace.Header
+	slack int64
+}
+
+// Retimed couples a replay result with the trace rewritten onto the
+// replayed schedule and the replay's merge-slack budget.
+type Retimed struct {
+	// Result is the plain replay outcome (FinalTimes on the replayed
+	// global clock).
+	Result *Result
+	// Traces holds one rank trace whose Begin/End timestamps are the
+	// replayed schedule: Begin is when the rank reached the operation
+	// (after its compute gap), End is when the operation completed.
+	// All other record fields are preserved, per-rank order is
+	// monotone, and compute gaps equal the replayed gap times — so
+	// replaying the retimed trace under the same Params reproduces it
+	// exactly (the model's fixed point; asserted by the verification
+	// harness).
+	Traces []*trace.MemTrace
+	// Slack is the summed absolute gap between the two sides of every
+	// max() merge in the replay (transfer matches, completion waits,
+	// collective arrival spreads), in cycles. It bounds how far the
+	// graph-traversal analyzer — which propagates delays without
+	// consulting traced wait slack at DES merge points — can
+	// overestimate a per-rank delay relative to a perturbed re-replay
+	// of Traces (see doc/VERIFY.md).
+	Slack int64
+}
+
+// ReplayRetimed replays the trace like Replay and additionally emits
+// the trace rewritten onto the replayed schedule. The retimed trace is
+// the bridge the differential verification harness runs both engines
+// over: its timestamps are globally aligned by construction (they come
+// off one DES clock), which is exactly the precondition the replayer
+// needs and the graph analyzer does not.
+func ReplayRetimed(set *trace.Set, p Params) (*Retimed, error) {
+	res, ret, err := replay(set, p, true)
+	if err != nil {
+		return nil, err
+	}
+	out := &Retimed{Result: res, Slack: ret.slack}
+	out.Traces = make([]*trace.MemTrace, len(ret.recs))
+	for rank := range ret.recs {
+		out.Traces[rank] = &trace.MemTrace{Hdr: ret.hdrs[rank], Records: ret.recs[rank]}
+	}
+	return out, nil
+}

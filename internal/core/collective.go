@@ -278,6 +278,25 @@ func (a *analyzer) resolveExplicit(cs *collState, ordered []*collParticipant) {
 	}
 }
 
+// CollectiveRounds is the number of rounds the compact (Fig. 4) model
+// charges a p-participant collective: ceil(log2 p), minimum 1, for the
+// symmetric collectives and a single round for the rooted ones (the
+// paper's Reduce simplification). Exposed for the differential
+// verification bounds, which must account for the DES baseline
+// charging ceil(log2 p) rounds to every collective kind.
+func CollectiveRounds(kind trace.Kind, p int) int {
+	if kind.IsRooted() {
+		return 1
+	}
+	return ceilLog2(p)
+}
+
+// CollectiveRoundBytes is the exported form of roundBytes: the payload
+// the model attributes to one round of a collective.
+func CollectiveRoundBytes(kind trace.Kind, bytes int64, round, p int) int64 {
+	return roundBytes(kind, bytes, round, p)
+}
+
 // roundBytes is the payload attributed to one round of a collective.
 func roundBytes(kind trace.Kind, bytes int64, round, p int) int64 {
 	switch kind {

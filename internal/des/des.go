@@ -50,11 +50,13 @@ func (h *eventHeap) Pop() interface{} {
 // Sim is a discrete-event simulator instance. The zero value is ready
 // to use at time zero.
 type Sim struct {
-	now    int64
-	seq    uint64
-	queue  eventHeap
-	fired  uint64
-	halted bool
+	now      int64
+	seq      uint64
+	queue    eventHeap
+	fired    uint64
+	halted   bool
+	limit    uint64
+	limitHit bool
 }
 
 // Now returns the current simulation time.
@@ -89,11 +91,32 @@ func (s *Sim) After(delay int64, ev Event) {
 // remaining events queued.
 func (s *Sim) Halt() { s.halted = true }
 
-// Run fires events in timestamp order until the queue drains or Halt
-// is called. It returns the final simulation time.
+// SetLimit caps the total number of events Run/RunUntil may fire
+// (0 = unbounded). When the cap is hit the loop stops with the
+// remaining events still queued and LimitReached reports true — a
+// safety net for randomized replay campaigns, where a malformed input
+// must not turn into an unbounded simulation.
+func (s *Sim) SetLimit(n uint64) { s.limit = n }
+
+// LimitReached reports whether a run stopped because the event limit
+// was exhausted rather than because the queue drained.
+func (s *Sim) LimitReached() bool { return s.limitHit }
+
+// overLimit checks (and records) event-budget exhaustion.
+func (s *Sim) overLimit() bool {
+	if s.limit > 0 && s.fired >= s.limit {
+		s.limitHit = true
+		return true
+	}
+	return false
+}
+
+// Run fires events in timestamp order until the queue drains, Halt is
+// called, or the event limit is reached. It returns the final
+// simulation time.
 func (s *Sim) Run() int64 {
 	s.halted = false
-	for len(s.queue) > 0 && !s.halted {
+	for len(s.queue) > 0 && !s.halted && !s.overLimit() {
 		e := heap.Pop(&s.queue).(entry)
 		s.now = e.at
 		s.fired++
@@ -107,7 +130,7 @@ func (s *Sim) Run() int64 {
 // event fired).
 func (s *Sim) RunUntil(deadline int64) int64 {
 	s.halted = false
-	for len(s.queue) > 0 && !s.halted && s.queue[0].at <= deadline {
+	for len(s.queue) > 0 && !s.halted && s.queue[0].at <= deadline && !s.overLimit() {
 		e := heap.Pop(&s.queue).(entry)
 		s.now = e.at
 		s.fired++

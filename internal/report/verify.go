@@ -1,0 +1,85 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mpgraph/internal/verify"
+)
+
+// VerifyCampaign renders a verification campaign summary: scenario
+// counts by workload and perturbation class, and every failure with
+// its shrunk reproducer.
+func VerifyCampaign(w io.Writer, rep *verify.Report) error {
+	fmt.Fprintf(w, "## verification campaign\n")
+	fmt.Fprintf(w, "seed=%d scenarios=%d checked=%d failed=%d\n",
+		rep.Seed, rep.N, rep.Checked, rep.Failed)
+
+	byClass := NewTable("scenarios by perturbation class", "class", "count")
+	for _, k := range sortedKeys(rep.ByClass) {
+		byClass.AddRow(k, rep.ByClass[k])
+	}
+	if err := byClass.Render(w); err != nil {
+		return err
+	}
+	byWorkload := NewTable("scenarios by workload", "workload", "count")
+	for _, k := range sortedKeys(rep.ByWorkload) {
+		byWorkload.AddRow(k, rep.ByWorkload[k])
+	}
+	if err := byWorkload.Render(w); err != nil {
+		return err
+	}
+
+	if rep.Failed == 0 {
+		_, err := fmt.Fprintln(w, "all scenarios agree: graph traversal matches the DES oracle within documented bounds")
+		return err
+	}
+	for _, r := range rep.Results {
+		if r.OK() {
+			continue
+		}
+		fmt.Fprintf(w, "\nFAIL scenario %d (%s):\n", r.Index, r.Scenario.Name())
+		for _, f := range r.Failures {
+			fmt.Fprintf(w, "  %s\n", f)
+		}
+		if r.Shrunk != nil && len(r.ShrunkFailures) > 0 {
+			fmt.Fprintf(w, "  shrunk to: %s iterations=%d bytes=%d compute=%d\n",
+				r.Shrunk.Name(), r.Shrunk.Iterations, r.Shrunk.Bytes, r.Shrunk.Compute)
+		}
+	}
+	for _, p := range rep.ReproPaths {
+		fmt.Fprintf(w, "reproducer written: %s\n", p)
+	}
+	return nil
+}
+
+// LintFindings renders linter findings as a table (or a clean bill).
+func LintFindings(w io.Writer, findings []verify.Finding) error {
+	if len(findings) == 0 {
+		_, err := fmt.Fprintln(w, "lint: no findings")
+		return err
+	}
+	tbl := NewTable(fmt.Sprintf("lint findings (%d)", len(findings)), "class", "rank", "event", "message")
+	for _, f := range findings {
+		rank, event := "-", "-"
+		if f.Rank >= 0 {
+			rank = fmt.Sprintf("%d", f.Rank)
+		}
+		if f.Event >= 0 {
+			event = fmt.Sprintf("%d", f.Event)
+		}
+		tbl.AddRow(f.Class, rank, event, f.Message)
+	}
+	return tbl.Render(w)
+}
+
+// sortedKeys returns map keys in deterministic order.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

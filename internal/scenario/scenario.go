@@ -122,6 +122,29 @@ func (f *File) Model() (*core.Model, error) {
 	return m, nil
 }
 
+// Constants builds a scenario that perturbs with fixed (deterministic)
+// deltas: latency cycles per message edge, perByte cycles per payload
+// byte, and osNoise cycles per noise draw. Zero-valued deltas are
+// omitted entirely. The differential verification harness uses constant
+// scenarios because they admit exact model-equivalence bounds against
+// the DES baseline (doc/VERIFY.md).
+func Constants(name string, latency, perByte, osNoise float64) *File {
+	f := &File{Name: name, CollectiveBytes: perByte != 0}
+	format := func(v float64) string {
+		return "constant:" + strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	if latency != 0 {
+		f.Latency = format(latency)
+	}
+	if perByte != 0 {
+		f.PerByte = format(perByte)
+	}
+	if osNoise != 0 {
+		f.OSNoise = format(osNoise)
+	}
+	return f
+}
+
 // Save writes the scenario as indented JSON.
 func (f *File) Save(path string) error {
 	data, err := json.MarshalIndent(f, "", "  ")

@@ -26,6 +26,25 @@ func edgeRecords() []Record {
 	}
 }
 
+// malformedSeeds are text traces modeled on the hand-built fixtures
+// the structural linter (internal/verify) checks: the codec rejects
+// the per-rank defects (non-monotone clock, end before begin) at parse
+// time; the cross-rank ones (unmatched send, dangling wait) are valid
+// text that only the set-level linter can flag, and must round-trip.
+func malformedSeeds() []string {
+	return []string{
+		// Overlapping events on one rank: rejected at parse time.
+		"# mpgt-text 1\nheader rank=0 nranks=2\nsend begin=100 end=200 peer=1 bytes=8\nsend begin=150 end=250 peer=1 bytes=8\n",
+		// Equal boundary: begin == previous end is legal.
+		"# mpgt-text 1\nheader rank=0 nranks=2\nsend begin=100 end=200 peer=1 bytes=8\nsend begin=200 end=250 peer=1 bytes=8\n",
+		// Unmatched send and dangling wait: parse fine, lint dirty.
+		"# mpgt-text 1\nheader rank=0 nranks=2\nsend begin=0 end=10 peer=1 bytes=4\n",
+		"# mpgt-text 1\nheader rank=0 nranks=1\nwait begin=0 end=10 req=7\n",
+		// Backwards clock within one record.
+		"# mpgt-text 1\nheader rank=0 nranks=1\ninit begin=10 end=5\n",
+	}
+}
+
 // encodeAll renders records through the binary codec.
 func encodeAll(f *testing.F, hdr Header, recs []Record) []byte {
 	f.Helper()
@@ -111,6 +130,9 @@ func FuzzTextReader(f *testing.F) {
 	f.Add("# mpgt-text 1\nheader rank=0 nranks=1\n")
 	f.Add("nonsense")
 	f.Add("")
+	for _, s := range malformedSeeds() {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, s string) {
 		_, _, _ = ReadText(bytes.NewReader([]byte(s)))
 	})
@@ -129,11 +151,16 @@ func FuzzTextRoundTrip(f *testing.F) {
 		f.Add(buf.String())
 	}
 	f.Add("# mpgt-text 1\nheader rank=0 nranks=1\nmeta a=b=c\n")
+	for _, s := range malformedSeeds() {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, s string) {
 		hdr, recs, err := ReadText(bytes.NewReader([]byte(s)))
 		if err != nil {
 			return // rejected input: fine
 		}
+		// Anything the reader accepts is a monotone serial history, so
+		// the writer (which enforces the same invariant) must take it.
 		var out bytes.Buffer
 		if err := WriteText(&out, hdr, recs); err != nil {
 			// The reader is more permissive than the writer in exactly

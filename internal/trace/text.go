@@ -47,10 +47,16 @@ func WriteText(w io.Writer, h Header, recs []Record) error {
 		}
 		fmt.Fprintf(bw, "meta %s=%s\n", k, h.Meta[k])
 	}
-	for _, r := range recs {
+	var prevEnd int64
+	for i, r := range recs {
 		if err := r.Validate(); err != nil {
 			return err
 		}
+		if i > 0 && r.Begin < prevEnd {
+			return fmt.Errorf("trace: record %d: non-monotone timestamp: %s begin=%d before previous end=%d",
+				i, r.Kind, r.Begin, prevEnd)
+		}
+		prevEnd = r.End
 		fmt.Fprint(bw, r.Kind.String())
 		fmt.Fprintf(bw, " begin=%d end=%d", r.Begin, r.End)
 		if r.Peer != NoRank {
@@ -160,6 +166,13 @@ func ReadText(r io.Reader) (Header, []Record, error) {
 			}
 			if err := rec.Validate(); err != nil {
 				return h, nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			// A rank's events are a serial history: each must begin at or
+			// after the previous one ended. Reject rather than normalize —
+			// silently reordering would mask tracer bugs.
+			if n := len(recs); n > 0 && rec.Begin < recs[n-1].End {
+				return h, nil, fmt.Errorf("trace: line %d: non-monotone timestamp: %s begin=%d before previous end=%d",
+					lineNo, rec.Kind, rec.Begin, recs[n-1].End)
 			}
 			recs = append(recs, rec)
 		}

@@ -101,6 +101,41 @@ func TestTextErrors(t *testing.T) {
 	}
 }
 
+func TestTextRejectsNonMonotone(t *testing.T) {
+	// A rank's events form a serial history; an event beginning before
+	// its predecessor ended is a tracer bug the codec must surface, not
+	// normalize away.
+	src := `# mpgt-text 1
+header rank=0 nranks=2
+send begin=100 end=200 peer=1 bytes=8
+send begin=150 end=250 peer=1 bytes=8
+`
+	if _, _, err := ReadText(strings.NewReader(src)); err == nil {
+		t.Fatal("non-monotone trace accepted")
+	} else if !strings.Contains(err.Error(), "non-monotone") {
+		t.Fatalf("wrong error: %v", err)
+	}
+
+	var buf bytes.Buffer
+	err := WriteText(&buf, Header{Rank: 0, NRanks: 2}, []Record{
+		{Kind: KindSend, Begin: 100, End: 200, Peer: 1, Bytes: 8, Root: NoRank},
+		{Kind: KindSend, Begin: 150, End: 250, Peer: 1, Bytes: 8, Root: NoRank},
+	})
+	if err == nil {
+		t.Fatal("writer emitted a non-monotone trace")
+	}
+
+	// begin == previous end is a legal back-to-back schedule.
+	touching := `# mpgt-text 1
+header rank=0 nranks=2
+send begin=100 end=200 peer=1 bytes=8
+send begin=200 end=250 peer=1 bytes=8
+`
+	if _, _, err := ReadText(strings.NewReader(touching)); err != nil {
+		t.Fatalf("touching events rejected: %v", err)
+	}
+}
+
 func TestTextRejectsUnrepresentableMeta(t *testing.T) {
 	var buf bytes.Buffer
 	err := WriteText(&buf, Header{Rank: 0, NRanks: 1,

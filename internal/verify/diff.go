@@ -1,0 +1,254 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"mpgraph/internal/baseline"
+	"mpgraph/internal/core"
+	"mpgraph/internal/trace"
+)
+
+// budgets are the model-equivalence allowances separating the two
+// engines on one scenario. doc/VERIFY.md derives each term; the short
+// version: the engines share the same dependency DAG (matching is
+// timing-independent, §4.3), so per merge node the DES delay change is
+// at most the graph's propagated delay (lower side) and the graph can
+// overshoot the DES by at most the base schedule's slack at that merge
+// (upper side). Everything else is bookkeeping differences between the
+// two models.
+type budgets struct {
+	// Slack is the summed |local - remote| over every max() merge of
+	// the base replay (baseline.Retimed.Slack): the graph engine
+	// propagates delays without consulting base-schedule wait slack,
+	// so it may overestimate by up to this much in total.
+	Slack float64
+	// Noise covers OS-noise draws the graph model makes and the DES
+	// does not (per-operation draws; compute-gap draws cancel exactly).
+	Noise float64
+	// Trunc covers int64 truncation of the DES bandwidth term
+	// (1 cycle per transfer or collective round; zero when bandwidth
+	// is unperturbed).
+	Trunc float64
+	// CollUpper / CollLower cover collective-model differences: the
+	// graph charges CollectiveRounds(kind) rounds with per-round
+	// payloads, the DES charges ceil(log2 p) rounds of the record's
+	// payload to every kind.
+	CollUpper, CollLower float64
+}
+
+// epsLow is the lower-bound allowance: DES delay may exceed graph
+// delay by at most this.
+func (b budgets) epsLow() float64 { return b.Trunc + b.CollLower + 1e-6 }
+
+// epsHigh is the upper-bound allowance: graph delay may exceed DES
+// delay by at most this.
+func (b budgets) epsHigh() float64 {
+	return b.Slack + b.Noise + b.Trunc + b.CollUpper + 1e-6
+}
+
+// DiffResult is the outcome of one differential comparison.
+type DiffResult struct {
+	// Scenario is the case compared.
+	Scenario *Scenario `json:"scenario"`
+	// BaseFinal is the unperturbed DES schedule's per-rank completion
+	// (the shared base both engines perturb).
+	BaseFinal []int64 `json:"base_final"`
+	// GraphDelay and DESDelay are the per-rank predicted delays.
+	GraphDelay []float64 `json:"graph_delay"`
+	DESDelay   []int64   `json:"des_delay"`
+	// Budgets are the allowances the comparison ran under.
+	Budgets budgets `json:"budgets"`
+	// Failures lists bound violations (empty = the engines agree).
+	Failures []string `json:"failures,omitempty"`
+}
+
+// OK reports whether every assertion held.
+func (d *DiffResult) OK() bool { return len(d.Failures) == 0 }
+
+func (d *DiffResult) failf(format string, args ...interface{}) {
+	d.Failures = append(d.Failures, fmt.Sprintf(format, args...))
+}
+
+// Differential runs one scenario through both engines and checks the
+// documented model-equivalence bounds:
+//
+//  1. Trace the workload, then retime the trace through the
+//     unperturbed eager-mode DES (baseline.ReplayRetimed) so both
+//     engines start from one globally aligned base schedule.
+//  2. Idempotency: replaying the retimed trace unperturbed must
+//     reproduce it exactly (the base schedule is a DES fixed point).
+//  3. Replay the retimed trace under the perturbed DES model, analyze
+//     it under the equivalent constant-delta graph model, and assert
+//     per-rank and makespan agreement within budgets.
+//
+// A non-nil error means the harness itself failed (bad scenario,
+// engine error); bound violations land in DiffResult.Failures.
+func Differential(sc *Scenario) (*DiffResult, error) {
+	set, err := sc.BuildTraces()
+	if err != nil {
+		return nil, err
+	}
+	rt, err := baseline.ReplayRetimed(set, sc.BaseParams())
+	if err != nil {
+		return nil, fmt.Errorf("verify: %s: base replay: %w", sc.Name(), err)
+	}
+	d := &DiffResult{
+		Scenario:  sc,
+		BaseFinal: rt.Result.FinalTimes,
+	}
+	d.Budgets = computeBudgets(sc, rt.Traces)
+	d.Budgets.Slack = float64(rt.Slack)
+
+	// Idempotency: the retimed trace is its own base schedule.
+	again, err := replayMem(rt.Traces, sc.BaseParams())
+	if err != nil {
+		return nil, fmt.Errorf("verify: %s: idempotency replay: %w", sc.Name(), err)
+	}
+	for r, t := range again.FinalTimes {
+		if t != rt.Result.FinalTimes[r] {
+			d.failf("idempotency: rank %d: re-replay of the retimed trace finished at %d, want %d", r, t, rt.Result.FinalTimes[r])
+		}
+	}
+
+	// Perturbed DES replay.
+	perturbed, err := replayMem(rt.Traces, sc.PerturbedParams())
+	if err != nil {
+		return nil, fmt.Errorf("verify: %s: perturbed replay: %w", sc.Name(), err)
+	}
+	d.DESDelay = make([]int64, len(perturbed.FinalTimes))
+	for r := range perturbed.FinalTimes {
+		d.DESDelay[r] = perturbed.FinalTimes[r] - rt.Result.FinalTimes[r]
+	}
+
+	// Graph analysis under the equivalent constant-delta model.
+	model, err := sc.PerturbationFile().Model()
+	if err != nil {
+		return nil, fmt.Errorf("verify: %s: model: %w", sc.Name(), err)
+	}
+	gset, err := trace.SetFromMem(rt.Traces)
+	if err != nil {
+		return nil, err
+	}
+	graph, err := core.Analyze(gset, model, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("verify: %s: graph analysis: %w", sc.Name(), err)
+	}
+	d.GraphDelay = make([]float64, len(graph.Ranks))
+	for r := range graph.Ranks {
+		d.GraphDelay[r] = graph.Ranks[r].FinalDelay
+	}
+
+	if sc.Class == ClassZero {
+		// Nothing was perturbed: both engines must report exact zeros.
+		for r := range d.GraphDelay {
+			if d.GraphDelay[r] != 0 {
+				d.failf("zero identity: rank %d: graph delay %g, want 0", r, d.GraphDelay[r])
+			}
+			if d.DESDelay[r] != 0 {
+				d.failf("zero identity: rank %d: DES delay %d, want 0", r, d.DESDelay[r])
+			}
+		}
+		return d, nil
+	}
+
+	epsLow, epsHigh := d.Budgets.epsLow(), d.Budgets.epsHigh()
+	var desMak, graphMak float64
+	for r := range d.GraphDelay {
+		des := float64(d.DESDelay[r])
+		gr := d.GraphDelay[r]
+		if des > desMak {
+			desMak = des
+		}
+		if gr > graphMak {
+			graphMak = gr
+		}
+		if des < 0 {
+			d.failf("rank %d: DES delay %g < 0 under a non-negative perturbation", r, des)
+		}
+		if gr < 0 {
+			d.failf("rank %d: graph delay %g < 0 under a non-negative perturbation", r, gr)
+		}
+		if des > gr+epsLow {
+			d.failf("rank %d: DES delay %g exceeds graph delay %g + lower allowance %g", r, des, gr, epsLow)
+		}
+		if gr > des+epsHigh {
+			d.failf("rank %d: graph delay %g exceeds DES delay %g + upper allowance %g", r, gr, des, epsHigh)
+		}
+	}
+	// Makespan deltas obey the same envelope (both are maxima of
+	// per-rank series that obey it pointwise on a shared base).
+	if math.Abs(desMak-graphMak) > math.Max(epsLow, epsHigh) {
+		d.failf("makespan: DES delta %g vs graph delta %g beyond allowance %g", desMak, graphMak, math.Max(epsLow, epsHigh))
+	}
+	return d, nil
+}
+
+// replayMem wraps the retimed in-memory traces as a fresh Set and
+// replays them.
+func replayMem(traces []*trace.MemTrace, p baseline.Params) (*baseline.Result, error) {
+	set, err := trace.SetFromMem(traces)
+	if err != nil {
+		return nil, err
+	}
+	return baseline.Replay(set, p)
+}
+
+// computeBudgets scans the retimed trace and prices every modeling
+// difference between the two engines (see budgets).
+func computeBudgets(sc *Scenario, traces []*trace.MemTrace) budgets {
+	dLat, dInv, c := sc.graphDeltas()
+	p0, p1 := sc.BaseParams(), sc.PerturbedParams()
+	byteDeltaInt := func(bytes int64) float64 {
+		if p1.BytesPerCycle == p0.BytesPerCycle || bytes <= 0 {
+			return 0
+		}
+		return float64(int64(float64(bytes)/p1.BytesPerCycle) - int64(float64(bytes)/p0.BytesPerCycle))
+	}
+	var b budgets
+	for _, mt := range traces {
+		for _, rec := range mt.Records {
+			switch {
+			case rec.Kind == trace.KindMarker:
+			case rec.Kind.IsNonblocking():
+				if rec.Kind == trace.KindIsend && dInv != 0 {
+					b.Trunc++
+				}
+			case rec.Kind.IsCollective():
+				p := int(rec.CommSize)
+				gRounds := core.CollectiveRounds(rec.Kind, p)
+				dRounds := baseline.CollectiveRounds(p)
+				b.Noise += c * float64(gRounds)
+				gCharge := float64(gRounds) * dLat
+				if dInv != 0 {
+					for j := 0; j < gRounds; j++ {
+						gCharge += dInv * float64(core.CollectiveRoundBytes(rec.Kind, rec.Bytes, j, p))
+					}
+					b.Trunc += float64(dRounds)
+				}
+				dCharge := float64(dRounds) * (dLat + byteDeltaInt(rec.Bytes))
+				gLower := gCharge
+				if rec.Kind == trace.KindScan {
+					// Scan uses the explicit prefix chain in every
+					// mode; rank 0 receives no charge at all.
+					gCharge *= float64(p - 1)
+					gLower = 0
+				}
+				if gCharge > dCharge {
+					b.CollUpper += gCharge - dCharge
+				}
+				if dCharge > gLower {
+					b.CollLower += dCharge - gLower
+				}
+			default:
+				// Blocking p2p, waits, init, finalize: the graph draws
+				// one per-operation noise sample the DES does not.
+				b.Noise += c
+				if rec.Kind == trace.KindSend && dInv != 0 {
+					b.Trunc++
+				}
+			}
+		}
+	}
+	return b
+}

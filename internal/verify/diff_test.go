@@ -1,0 +1,167 @@
+package verify
+
+import (
+	"testing"
+
+	"mpgraph/internal/baseline"
+	"mpgraph/internal/dist"
+	"mpgraph/internal/parallel"
+	"mpgraph/internal/trace"
+)
+
+// fixedScenario is a small deterministic case used across tests.
+func fixedScenario(class Class) *Scenario {
+	sc := &Scenario{
+		Workload:      "tokenring",
+		Ranks:         4,
+		Iterations:    3,
+		Tasks:         1,
+		Bytes:         1024,
+		Compute:       10_000,
+		CollEvery:     1,
+		WorkloadSeed:  1,
+		MachineSeed:   1,
+		BaseLatency:   800,
+		BaseBandwidth: 1,
+		Class:         class,
+	}
+	switch class {
+	case ClassLatency:
+		sc.DeltaLatency = 500
+	case ClassBandwidth:
+		sc.BandwidthFactor = 0.5
+	case ClassNoise:
+		sc.NoiseCycles = 300
+	case ClassMixed:
+		sc.DeltaLatency = 500
+		sc.BandwidthFactor = 0.5
+		sc.NoiseCycles = 300
+	}
+	return sc
+}
+
+func TestDifferentialFixedScenarios(t *testing.T) {
+	for _, class := range Classes {
+		class := class
+		t.Run(string(class), func(t *testing.T) {
+			d, err := Differential(fixedScenario(class))
+			if err != nil {
+				t.Fatalf("Differential: %v", err)
+			}
+			if !d.OK() {
+				t.Fatalf("bounds violated:\n%v", d.Failures)
+			}
+		})
+	}
+}
+
+// TestDifferentialGenerated sweeps randomly generated scenarios — the
+// same generator the mpg-verify campaign uses.
+func TestDifferentialGenerated(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		rng := dist.NewRNG(parallel.TaskSeed(7, i))
+		sc := Generate(rng)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("scenario %d invalid: %v", i, err)
+		}
+		d, err := Differential(sc)
+		if err != nil {
+			t.Fatalf("scenario %d (%s): %v", i, sc.Name(), err)
+		}
+		if !d.OK() {
+			t.Errorf("scenario %d (%s): bounds violated:\n  budgets=%+v\n  graph=%v\n  des=%v\n  %v",
+				i, sc.Name(), d.Budgets, d.GraphDelay, d.DESDelay, d.Failures)
+		}
+	}
+}
+
+// TestRetimedIdempotent pins the fixed-point property of the retimed
+// trace directly at the baseline layer.
+func TestRetimedIdempotent(t *testing.T) {
+	sc := fixedScenario(ClassLatency)
+	set, err := sc.BuildTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := baseline.ReplayRetimed(set, sc.BaseParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Slack < 0 {
+		t.Fatalf("negative merge slack %d", rt.Slack)
+	}
+	set2, err := trace.SetFromMem(rt.Traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := baseline.Replay(set2, sc.BaseParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range again.FinalTimes {
+		if again.FinalTimes[r] != rt.Result.FinalTimes[r] {
+			t.Errorf("rank %d: re-replay finished at %d, want %d", r, again.FinalTimes[r], rt.Result.FinalTimes[r])
+		}
+	}
+	// The retimed records must be per-rank monotone with End >= Begin.
+	for rank, mt := range rt.Traces {
+		var prevEnd int64
+		for i, rec := range mt.Records {
+			if rec.End < rec.Begin {
+				t.Fatalf("rank %d record %d: End %d < Begin %d", rank, i, rec.End, rec.Begin)
+			}
+			if rec.Begin < prevEnd {
+				t.Fatalf("rank %d record %d: Begin %d < previous End %d", rank, i, rec.Begin, prevEnd)
+			}
+			prevEnd = rec.End
+		}
+	}
+}
+
+// TestEagerVsRendezvousDiffer documents why the harness uses eager
+// mode: the two transfer models produce different schedules when a
+// receiver posts late.
+func TestEagerVsRendezvousDiffer(t *testing.T) {
+	sc := fixedScenario(ClassZero)
+	sc.Workload = "pipeline"
+	sc.Compute = 50_000
+	set, err := sc.BuildTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sc.BaseParams()
+	p.EagerData = true
+	eager, err := baseline.Replay(set, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set2, err := sc.BuildTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EagerData = false
+	rendez, err := baseline.Replay(set2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rendez.Makespan < eager.Makespan {
+		t.Errorf("rendezvous makespan %d < eager %d: rendezvous can only delay transfers", rendez.Makespan, eager.Makespan)
+	}
+}
+
+func TestDESEventLimit(t *testing.T) {
+	sc := fixedScenario(ClassZero)
+	set, err := sc.BuildTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sc.BaseParams()
+	p.MaxEvents = 3
+	if _, err := baseline.Replay(set, p); err == nil {
+		t.Fatal("replay with a 3-event budget should fail")
+	}
+}

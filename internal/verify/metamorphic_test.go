@@ -1,0 +1,66 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"mpgraph/internal/dist"
+	"mpgraph/internal/parallel"
+)
+
+func TestMetamorphicFixedScenarios(t *testing.T) {
+	for _, class := range Classes {
+		class := class
+		t.Run(string(class), func(t *testing.T) {
+			failures, err := Metamorphic(fixedScenario(class))
+			if err != nil {
+				t.Fatalf("Metamorphic: %v", err)
+			}
+			if len(failures) > 0 {
+				t.Fatalf("properties violated:\n%s", strings.Join(failures, "\n"))
+			}
+		})
+	}
+}
+
+func TestMetamorphicGenerated(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 6
+	}
+	for i := 0; i < n; i++ {
+		rng := dist.NewRNG(parallel.TaskSeed(11, i))
+		sc := Generate(rng)
+		failures, err := Metamorphic(sc)
+		if err != nil {
+			t.Fatalf("scenario %d (%s): %v", i, sc.Name(), err)
+		}
+		for _, f := range failures {
+			t.Errorf("scenario %d (%s): %s", i, sc.Name(), f)
+		}
+	}
+}
+
+func TestButterflyBound(t *testing.T) {
+	for _, ranks := range []int{2, 4, 8} {
+		if err := ButterflyBound(ranks, 3, 1024, 10_000, 500); err != nil {
+			t.Errorf("ranks=%d: %v", ranks, err)
+		}
+	}
+	if err := ButterflyBound(3, 1, 1, 1, 1); err == nil {
+		t.Error("non-power-of-two ranks should be rejected")
+	}
+}
+
+func TestOrderPreservationUnderNegativeDeltas(t *testing.T) {
+	sc := fixedScenario(ClassNoise)
+	traces, err := sc.BuildMemTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, magnitude := range []int64{100, 2_000, 50_000} {
+		if err := OrderPreservation(traces, magnitude, 3); err != nil {
+			t.Errorf("magnitude %d: %v", magnitude, err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package verify
+
+// Shrink greedily minimizes a failing scenario: it repeatedly tries
+// size-reducing mutations (halving iterations, ranks, payloads,
+// deltas, simplifying seeds) and keeps any mutant that still fails,
+// until no mutation helps or the evaluation budget runs out. The
+// predicate is typically "CheckScenario reports failures"; budget
+// counts predicate evaluations (each one replays the scenario through
+// both engines, so campaigns keep it modest).
+func Shrink(sc *Scenario, failing func(*Scenario) bool, budget int) *Scenario {
+	cur := *sc
+	if budget <= 0 {
+		budget = 60
+	}
+	// Each mutation returns false when it cannot reduce further.
+	mutations := []func(*Scenario) bool{
+		func(c *Scenario) bool { return halveInt(&c.Iterations, 1) },
+		func(c *Scenario) bool { return halveInt(&c.Tasks, 1) },
+		func(c *Scenario) bool { return halveInt(&c.Ranks, 1) },
+		func(c *Scenario) bool { return halveInt64(&c.Bytes, 1) },
+		func(c *Scenario) bool { return halveInt64(&c.Compute, 1) },
+		func(c *Scenario) bool { return setInt(&c.CollEvery, 1) },
+		func(c *Scenario) bool { return setInt64(&c.EagerLimit, 0) },
+		func(c *Scenario) bool { return halveInt64(&c.BaseLatency, 1) },
+		func(c *Scenario) bool { return halveInt64(&c.DeltaLatency, minDelta(c.Class, ClassLatency)) },
+		func(c *Scenario) bool { return halveInt64(&c.NoiseCycles, minDelta(c.Class, ClassNoise)) },
+		func(c *Scenario) bool { return setUint64(&c.WorkloadSeed, 1) },
+		func(c *Scenario) bool { return setUint64(&c.MachineSeed, 1) },
+	}
+	progress := true
+	for progress && budget > 0 {
+		progress = false
+		for _, mutate := range mutations {
+			if budget <= 0 {
+				break
+			}
+			cand := cur
+			if !mutate(&cand) || cand.Validate() != nil {
+				continue
+			}
+			budget--
+			if failing(&cand) {
+				cur = cand
+				progress = true
+			}
+		}
+	}
+	return &cur
+}
+
+// minDelta is the smallest value a class-specific delta may shrink to:
+// 0 when the class does not use it, 1 when it does (a zero delta would
+// change the perturbation class).
+func minDelta(have, uses Class) int64 {
+	if have == uses || have == ClassMixed {
+		return 1
+	}
+	return 0
+}
+
+func halveInt(v *int, min int) bool {
+	if *v <= min {
+		return false
+	}
+	*v /= 2
+	if *v < min {
+		*v = min
+	}
+	return true
+}
+
+func halveInt64(v *int64, min int64) bool {
+	if *v <= min {
+		return false
+	}
+	*v /= 2
+	if *v < min {
+		*v = min
+	}
+	return true
+}
+
+func setInt(v *int, to int) bool {
+	if *v == to {
+		return false
+	}
+	*v = to
+	return true
+}
+
+func setInt64(v *int64, to int64) bool {
+	if *v == to {
+		return false
+	}
+	*v = to
+	return true
+}
+
+func setUint64(v *uint64, to uint64) bool {
+	if *v == to {
+		return false
+	}
+	*v = to
+	return true
+}
