@@ -331,6 +331,62 @@ func BenchmarkAnalyzerThroughput(b *testing.B) {
 	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
+// replayBenchSet is the 64-rank sweep workload behind the
+// compile-once acceptance pair below.
+func replayBenchSet(b *testing.B) *trace.Set {
+	return mustTrace(b, "stencil1d", 64, workloads.Options{Iterations: 10, CollEvery: 4}, 18)
+}
+
+// replayBenchModel is one Monte Carlo trial's perturbation, mixing all
+// three sampled delta classes so both engines pay representative
+// sampling and kernel costs.
+func replayBenchModel(trial int) *core.Model {
+	return &core.Model{
+		Seed:       18 + uint64(trial),
+		OSNoise:    dist.Exponential{MeanValue: 300},
+		MsgLatency: dist.Exponential{MeanValue: 500},
+		PerByte:    dist.Constant{C: 0.5},
+	}
+}
+
+// BenchmarkReplayStreaming is the per-trial cost of re-running the
+// streaming analyzer over a snapshot, the pre-compile Monte Carlo hot
+// path. Its compiled counterpart below must beat it by ≥2x (see
+// BENCH_replay.json for the recorded datapoint).
+func BenchmarkReplayStreaming(b *testing.B) {
+	snap, err := trace.NewSnapshot(replayBenchSet(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, release := snap.Acquire()
+		_, err := core.Analyze(s, replayBenchModel(i), core.Options{})
+		release()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayCompiled replays the same trials over the compiled
+// program: the matcher ran once at compile time, so each iteration is
+// a single pass over the flat op tape with pooled buffers.
+func BenchmarkReplayCompiled(b *testing.B) {
+	prog, err := core.Compile(replayBenchSet(b), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ReplayCompiled(prog, replayBenchModel(i), core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // memify drains a set into reusable in-memory traces.
 func memify(b *testing.B, set *trace.Set) []*trace.MemTrace {
 	b.Helper()

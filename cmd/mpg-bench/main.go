@@ -6,6 +6,14 @@
 //	mpg-bench -ranks 2 -machine-noise exponential:300 -out noisy.json
 //
 // The signature feeds mpg-analyze -signature.
+//
+// With -replay the command instead benchmarks the Monte Carlo replay
+// engines — the streaming analyzer (serial and parallel) against the
+// compile-once/replay-many path — and writes a machine-readable
+// BENCH_replay.json report. The run fails if the two engines disagree
+// on a reference model, so CI can use it as an equivalence gate:
+//
+//	mpg-bench -replay -replay-ranks 64 -out BENCH_replay.json
 package main
 
 import (
@@ -36,8 +44,32 @@ func run(args []string) error {
 	ppBytes := fs.Int64("pingpong-bytes", 8, "ping-pong message size")
 	bwBytes := fs.Int64("bandwidth-bytes", 1<<20, "bandwidth probe message size")
 	bwSamples := fs.Int("bandwidth-samples", 50, "bandwidth probe sample count")
+	replay := fs.Bool("replay", false, "benchmark the replay engines instead of probing the platform")
+	replayWorkload := fs.String("replay-workload", "stencil1d", "workload for the replay benchmark")
+	replayRanks := fs.Int("replay-ranks", 64, "world size for the replay benchmark")
+	replayIters := fs.Int("replay-iters", 10, "workload iterations for the replay benchmark")
+	replayCollEvery := fs.Int("replay-collevery", 4, "collective cadence for the replay benchmark")
+	replayTrials := fs.Int("replay-trials", 100, "Monte Carlo replays per engine path")
+	replayWorkers := fs.Int("replay-workers", 0, "parallel-path workers (0 = GOMAXPROCS)")
+	replaySeed := fs.Uint64("replay-seed", 1, "trace and model seed for the replay benchmark")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *replay {
+		path := *out
+		if path == "" {
+			path = "BENCH_replay.json"
+		}
+		return runReplay(replayConfig{
+			workload:  *replayWorkload,
+			ranks:     *replayRanks,
+			iters:     *replayIters,
+			collEvery: *replayCollEvery,
+			trials:    *replayTrials,
+			workers:   *replayWorkers,
+			seed:      *replaySeed,
+			out:       path,
+		})
 	}
 	if *out == "" {
 		return fmt.Errorf("-out is required")

@@ -55,6 +55,7 @@ func run(args []string, w, stderr io.Writer) error {
 	step := fs.Float64("step", 100, "sweep increment")
 	workers := fs.Int("workers", 0, "replay worker pool size (0 = GOMAXPROCS); output is identical for any value")
 	trials := fs.Int("trials", 1, "Monte Carlo replays per point, each under a seed derived from (model seed, trial)")
+	streaming := fs.Bool("streaming-trials", false, "force Monte Carlo trials through the streaming analyzer instead of the compiled replay engine (A/B debugging; results are identical)")
 	useBaseline := fs.Bool("baseline", false, "also run the Dimemas-style DES replayer per point")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	progress := fs.Bool("progress", false, "report live replay progress on stderr")
@@ -85,6 +86,7 @@ func run(args []string, w, stderr io.Writer) error {
 		ModelSeed:       1,
 		Workers:         *workers,
 		Trials:          *trials,
+		StreamingTrials: *streaming,
 		Metrics:         of.Registry(),
 	}
 	if *progress {

@@ -31,25 +31,16 @@ type msgKey struct {
 }
 
 // msgState tracks one point-to-point transfer through matching and
-// delay resolution.
+// delay resolution. The embedded xfer carries the value half (post
+// delays, sampled deltas, completion contributions — see compute.go);
+// msgState adds the structural half the streaming matcher needs.
 type msgState struct {
+	xfer
+
 	bytes    int64
 	sendSeen bool
 	recvSeen bool
-
-	sendStartD float64 // D at the sender's post (start subevent)
-	recvPostD  float64 // D at the receiver's post
-	sendAttr   Attribution
-	recvAttr   Attribution
-	// cRecvFromData records which side's path dominated the transfer
-	// completion (true: the sender's data path; false: the receiver's
-	// post), which decides attribution perspective.
-	cRecvFromData bool
-
-	// Deltas sampled at match time.
-	dLat1, dPerByte, dLat2, dOS2 float64
-	cData, cRecv                 float64
-	matched                      bool
+	matched  bool
 
 	// Ranks stalled on this transfer (blocking sender/receiver or
 	// waiters), to be rescheduled when the match resolves.
@@ -64,26 +55,6 @@ type msgState struct {
 	recvDoneSet  bool
 	dataEmitted  bool
 	ackEmitted   bool
-}
-
-// recvPerspective is the attribution of the transfer completion as
-// seen by the receiving rank: a data-path win is remote, an own-post
-// win is local.
-func (m *msgState) recvPerspective() Attribution {
-	if m.cRecvFromData {
-		return m.sendAttr.asRemote().addMsg(m.dLat1 + m.dPerByte)
-	}
-	return m.recvAttr
-}
-
-// sendPerspective is the attribution of the transfer completion as
-// seen by the sending rank: its own data path stays local, a
-// receiver-post win is remote.
-func (m *msgState) sendPerspective() Attribution {
-	if m.cRecvFromData {
-		return m.sendAttr.addMsg(m.dLat1 + m.dPerByte)
-	}
-	return m.recvAttr.asRemote()
 }
 
 // collKey identifies one collective instance.
@@ -195,6 +166,18 @@ type analyzer struct {
 	// in per-rank record order; nil unless Options.RecordCritPath.
 	crit [][]critNode
 
+	// rec, when non-nil, records the execution schedule as a compiled
+	// instruction tape (see compile.go). The recorder observes; it
+	// never alters control flow or sampling.
+	rec *compileRecorder
+
+	// Reusable collective-resolution buffers (see compute.go kernels).
+	csc         collScratch
+	collIn      []collIn
+	collOutD    []float64
+	collOutAttr []Attribution
+	collOutPred []int32
+
 	// Engine counters, flushed to Options.Metrics at the end of the
 	// run. Plain ints: the analyzer is single-goroutine.
 	nLocalEdges, nMsgEdges, nCollEdges int64
@@ -270,9 +253,7 @@ func (a *analyzer) run() (*Result, error) {
 	if a.pendingOps > 0 {
 		a.res.warnf("analysis ended with %d unmatched posted operations (unreceived sends or unsent receives)", a.pendingOps)
 	}
-	if a.res.OrderViolations > 0 {
-		a.res.warnf("%d negative perturbations were clamped to preserve event order (§4.3)", a.res.OrderViolations)
-	}
+	orderViolationWarning(a.res)
 	a.res.finalize()
 	if a.crit != nil {
 		a.res.CritPath = buildCritPath(a.res, a.crit)
@@ -348,6 +329,9 @@ func (a *analyzer) beginRecord(rs *rankState, rec trace.Record) error {
 	gap := int64(0)
 	if rs.started {
 		gap = rec.Begin - rs.prevEnd
+	}
+	if a.rec != nil {
+		a.rec.onBegin(rs, gap)
 	}
 	delta := a.smp.computeNoise(rs.rank, gap)
 	rs.startD = rs.prevD + delta
@@ -449,6 +433,9 @@ func (a *analyzer) completeRecord(rs *rankState) (bool, error) {
 // finishRecord commits the resolved end subevent and advances the
 // rank's frontier.
 func (a *analyzer) finishRecord(rs *rankState, rec trace.Record, endD float64, endAttr Attribution) {
+	if a.rec != nil {
+		a.rec.onEnd(rs, rec)
+	}
 	if a.model.AllowNegative {
 		// Order preservation (§4.3): an event may not end before it
 		// begins under negative perturbations.
@@ -526,41 +513,28 @@ func (a *analyzer) finishRank(rs *rankState) {
 
 // --- combination rules --------------------------------------------------
 
-// combineLocal folds a local-edge delta into the running delay.
-// Additive: D(end) = D(start) + δ. Anchored: the event's traced
-// duration absorbs the delta: D(end) = max(D(start), D(start)+δ−w).
+// combineLocal folds a local-edge delta into the running delay
+// (compute.go kernel; shared with the compiled replayer).
 func (a *analyzer) combineLocal(rs *rankState, delta float64, w int64) (float64, Attribution) {
-	startD := rs.startD
-	if a.model.Propagation == PropagationAnchored {
-		v := startD + delta - float64(w)
-		if v < startD {
-			return startD, rs.startAttr
-		}
-		return v, rs.startAttr.addOwn(delta - float64(w))
-	}
-	return startD + delta, rs.startAttr.addOwn(delta)
+	return combineLocalKernel(a.model.Propagation, rs.startD, rs.startAttr, delta, w)
 }
 
-// merge folds one remote contribution into the local one, recording
-// absorbed/propagated statistics for the rank and its current region.
-func (a *analyzer) merge(rs *rankState, local, remote float64) float64 {
-	rr := &a.res.Ranks[rs.rank]
+// region returns (creating if needed) the stats bucket of the rank's
+// current marker region.
+func (a *analyzer) region(rs *rankState) *RegionStats {
 	key := RegionKey{Rank: rs.rank, Region: rs.region}
 	reg := a.res.Regions[key]
 	if reg == nil {
 		reg = &RegionStats{}
 		a.res.Regions[key] = reg
 	}
-	if remote > local {
-		rr.Propagated++
-		reg.Propagated++
-		rr.DelayInduced += remote - local
-		return remote
-	}
-	rr.Absorbed++
-	reg.Absorbed++
-	rr.SlackAbsorbed += local - remote
-	return local
+	return reg
+}
+
+// merge folds one remote contribution into the local one, recording
+// absorbed/propagated statistics for the rank and its current region.
+func (a *analyzer) merge(rs *rankState, local, remote float64) float64 {
+	return mergeStats(&a.res.Ranks[rs.rank], a.region(rs), local, remote)
 }
 
 // --- point-to-point -----------------------------------------------------
@@ -616,16 +590,13 @@ func (a *analyzer) resolveMatch(key msgKey, m *msgState, recvRank int) {
 	m.dPerByte = a.smp.perByte(m.bytes)
 	m.dLat2 = a.smp.latency()
 	m.dOS2 = a.smp.osNoise(recvRank)
-	m.cData = m.sendStartD + m.dLat1 + m.dPerByte
-	m.cRecv = m.cData
-	m.cRecvFromData = true
-	if m.recvPostD > m.cRecv {
-		m.cRecv = m.recvPostD
-		m.cRecvFromData = false
-	}
+	m.resolveCompletion()
 	m.matched = true
 	a.nMatches++
 	a.nMsgEdges += 2 // data + acknowledgment edges
+	if a.rec != nil {
+		a.rec.onMatch(m)
+	}
 	// Drop the matched entry from the front region of its queue.
 	q := a.queues[key]
 	for i, cand := range q {
@@ -689,67 +660,36 @@ func (a *analyzer) critRemoteMsg(rs *rankState, m *msgState) {
 // acknowledgment latency δ_λ2 (and, anchored, the receiver-side noise
 // that Eq. 1's third term includes).
 func (a *analyzer) sendCompletion(rs *rankState, m *msgState, w int64) (float64, Attribution) {
-	startD := rs.startD
 	dOS1 := a.smp.osNoise(rs.rank)
 	a.res.Ranks[rs.rank].InjectedLocal += dOS1
-	if a.model.Propagation == PropagationAnchored {
-		local := startD
-		localAttr := rs.startAttr
-		if v := startD + dOS1 - float64(w); v > local {
-			local = v
-			localAttr = rs.startAttr.addOwn(dOS1 - float64(w))
-		}
-		remote := m.cRecv + m.dOS2 + m.dLat2 - float64(w)
-		remoteAttr := m.sendPerspective()
-		remoteAttr.RemoteNoise += m.dOS2
-		remoteAttr.MsgDelta += m.dLat2 - float64(w)
-		if a.merge(rs, local, remote) == remote && remote > local {
-			a.critRemoteMsg(rs, m)
-			return remote, remoteAttr
-		}
-		return local, localAttr
-	}
-	local := startD + dOS1
-	remote := m.cRecv + m.dLat2
+	local, remote, localAttr, remoteAttr := sendCompletionKernel(
+		a.model.Propagation, rs.startD, rs.startAttr, dOS1, w, &m.xfer)
 	if a.merge(rs, local, remote) == remote && remote > local {
 		a.critRemoteMsg(rs, m)
-		return remote, m.sendPerspective().addMsg(m.dLat2)
+		return remote, remoteAttr
 	}
-	return local, rs.startAttr.addOwn(dOS1)
+	return local, localAttr
 }
 
 // recvCompletion applies Eq. 1's receiver rule: the local path carries
 // δ_os2, the remote path is the data arrival.
 func (a *analyzer) recvCompletion(rs *rankState, m *msgState, w int64) (float64, Attribution) {
-	startD := rs.startD
 	a.res.Ranks[rs.rank].InjectedLocal += m.dOS2
-	if a.model.Propagation == PropagationAnchored {
-		local := startD
-		localAttr := rs.startAttr
-		if v := startD + m.dOS2 + m.dLat1 + m.dPerByte - float64(w); v > local {
-			local = v
-			localAttr = rs.startAttr.addOwn(m.dOS2).addMsg(m.dLat1 + m.dPerByte - float64(w))
-		}
-		remote := m.cData + m.dOS2 - float64(w)
-		remoteAttr := m.sendAttr.asRemote().addMsg(m.dLat1 + m.dPerByte - float64(w))
-		remoteAttr.OwnNoise += m.dOS2
-		if a.merge(rs, local, remote) == remote && remote > local {
+	local, remote, localAttr, remoteAttr := recvCompletionKernel(
+		a.model.Propagation, rs.startD, rs.startAttr, w, &m.xfer)
+	if a.merge(rs, local, remote) == remote && remote > local {
+		if a.model.Propagation == PropagationAnchored {
 			if a.crit != nil {
 				// Anchored receive: the remote path is always the data
 				// arrival (cData), never the receiver's own post.
 				rs.critEnd = critStep{pred: m.sendStartRef, predD: m.sendStartD, kind: EdgeMessage, hasPred: true}
 			}
-			return remote, remoteAttr
+		} else {
+			a.critRemoteMsg(rs, m)
 		}
-		return local, localAttr
+		return remote, remoteAttr
 	}
-	local := startD + m.dOS2
-	remote := m.cRecv
-	if a.merge(rs, local, remote) == remote && remote > local {
-		a.critRemoteMsg(rs, m)
-		return remote, m.recvPerspective()
-	}
-	return local, rs.startAttr.addOwn(m.dOS2)
+	return local, localAttr
 }
 
 // postNonblocking registers an Isend/Irecv post; the end subevent is

@@ -101,6 +101,9 @@ func (a *analyzer) resolveCollective(cs *collState) {
 			ordered[j-1], ordered[j] = ordered[j], ordered[j-1]
 		}
 	}
+	if a.rec != nil {
+		a.rec.onCollResolve(cs, ordered)
+	}
 	if cs.kind == trace.KindScan {
 		// Scan's forward-only dependence has no Fig. 4 hub analog (the
 		// hub would let later ranks delay earlier ones); the explicit
@@ -116,166 +119,52 @@ func (a *analyzer) resolveCollective(cs *collState) {
 	}
 }
 
-// resolveApprox is the paper's Fig. 4 model: every participant's
-// inbound delay plus l_δ (ceil(log2 p) samples of noise+latency for
-// the symmetric collectives; a single sample for the rooted ones, the
-// paper's Reduce simplification) feeds a max that is propagated back
-// to all participants.
-func (a *analyzer) resolveApprox(cs *collState, ordered []*collParticipant) {
+// collBufs sizes the analyzer's reusable kernel buffers for a
+// p-participant collective and loads the inbound view.
+func (a *analyzer) collBufs(ordered []*collParticipant) (in []collIn, outD []float64, outAttr []Attribution, outPred []int32) {
 	p := len(ordered)
-	rounds := ceilLog2(p)
-	if cs.kind.IsRooted() {
-		rounds = 1
+	if cap(a.collIn) < p {
+		a.collIn = make([]collIn, p)
+		a.collOutD = make([]float64, p)
+		a.collOutAttr = make([]Attribution, p)
+		a.collOutPred = make([]int32, p)
 	}
-	lMax := 0.0
-	var winner *collParticipant
-	var winnerNoise, winnerMsg float64
-	for _, part := range ordered {
-		noise, msg := 0.0, 0.0
-		for j := 0; j < rounds; j++ {
-			noise += a.smp.osNoise(part.rank)
-			msg += a.smp.latency()
-			if a.model.CollectiveBytes {
-				msg += a.smp.perByte(roundBytes(cs.kind, cs.bytes, j, p))
-			}
-		}
-		if v := part.startD + noise + msg; v > lMax || winner == nil {
-			lMax = v
-			winner = part
-			winnerNoise, winnerMsg = noise, msg
-		}
+	in = a.collIn[:p]
+	for i, part := range ordered {
+		in[i] = collIn{rank: part.rank, startD: part.startD, startAttr: part.startAttr}
 	}
-	cs.lMax = lMax
-	winAttr := winner.startAttr.addOwn(winnerNoise).addMsg(winnerMsg)
-	for _, part := range ordered {
-		part.outD = lMax
-		part.outPredRef = winner.startRef
-		part.outPredD = winner.startD
-		if part == winner {
-			part.outAttr = winAttr
-		} else {
-			part.outAttr = winAttr.asRemote()
-		}
+	return in, a.collOutD[:p], a.collOutAttr[:p], a.collOutPred[:p]
+}
+
+// applyCollOut copies the kernel outputs back onto the participants,
+// resolving winner indices to node references.
+func applyCollOut(ordered []*collParticipant, outD []float64, outAttr []Attribution, outPred []int32) {
+	for i, part := range ordered {
+		part.outD = outD[i]
+		part.outAttr = outAttr[i]
+		w := ordered[outPred[i]]
+		part.outPredRef = w.startRef
+		part.outPredD = w.startD
 	}
 }
 
+// resolveApprox is the paper's Fig. 4 model (compute.go kernel,
+// shared with the compiled replayer): every participant's inbound
+// delay plus l_δ feeds a max that is propagated back to everyone.
+func (a *analyzer) resolveApprox(cs *collState, ordered []*collParticipant) {
+	in, outD, outAttr, outPred := a.collBufs(ordered)
+	cs.lMax = resolveApproxKernel(a.smp, cs.kind, cs.bytes, in, outD, outAttr, outPred)
+	applyCollOut(ordered, outD, outAttr, outPred)
+}
+
 // resolveExplicit builds the collective's actual communication
-// pattern in delay space: dissemination rounds for the symmetric
-// collectives, binomial trees for Bcast/Reduce, linear exchanges for
-// Gather/Scatter.
+// pattern in delay space (compute.go kernel): dissemination rounds
+// for the symmetric collectives, binomial trees for Bcast/Reduce,
+// linear exchanges for Gather/Scatter.
 func (a *analyzer) resolveExplicit(cs *collState, ordered []*collParticipant) {
-	p := len(ordered)
-	D := make([]float64, p)
-	A := make([]Attribution, p)
-	// org tracks, per member, which participant's start subevent
-	// anchors the member's current winning path (for critical-path
-	// extraction); adoption chains inherit the source's origin.
-	org := make([]int, p)
-	rootIdx := 0
-	for i, part := range ordered {
-		n := a.smp.osNoise(part.rank)
-		D[i] = part.startD + n
-		A[i] = part.startAttr.addOwn(n)
-		org[i] = i
-		if cs.kind.IsRooted() && int32(part.rank) == cs.root {
-			rootIdx = i
-		}
-	}
-	// adopt folds a cross-member contribution into dst, reclassifying
-	// the source's noise as remote.
-	adopt := func(dst, src int, msg float64) {
-		if v := D[src] + msg; v > D[dst] {
-			D[dst] = v
-			A[dst] = A[src].asRemote().addMsg(msg)
-			org[dst] = org[src]
-		}
-	}
-	bytesOf := func(round int) int64 { return roundBytes(cs.kind, cs.bytes, round, p) }
-	msgDelta := func(round int) float64 {
-		d := a.smp.latency()
-		if a.model.CollectiveBytes {
-			d += a.smp.perByte(bytesOf(round))
-		}
-		return d
-	}
-	switch cs.kind {
-	case trace.KindBcast:
-		for j := 0; (1 << uint(j)) < p; j++ {
-			step := 1 << uint(j)
-			for rel := 0; rel < step && rel+step < p; rel++ {
-				src := (rel + rootIdx) % p
-				dst := (rel + step + rootIdx) % p
-				adopt(dst, src, msgDelta(j))
-			}
-		}
-	case trace.KindReduce, trace.KindGather:
-		// Children push toward the root; non-roots keep their own
-		// delay (they complete after sending).
-		if cs.kind == trace.KindGather {
-			for i := range D {
-				if i == rootIdx {
-					continue
-				}
-				adopt(rootIdx, i, msgDelta(0))
-			}
-		} else {
-			for j := 0; (1 << uint(j)) < p; j++ {
-				step := 1 << uint(j)
-				for rel := step; rel < p; rel += step << 1 {
-					src := (rel + rootIdx) % p
-					dst := (rel - step + rootIdx) % p
-					adopt(dst, src, msgDelta(j))
-				}
-			}
-		}
-	case trace.KindScatter:
-		for i := range D {
-			if i == rootIdx {
-				continue
-			}
-			adopt(i, rootIdx, msgDelta(0))
-		}
-	case trace.KindScan:
-		// Prefix chain: member i adopts member i−1's delay — later
-		// ranks inherit earlier ranks' perturbations, never the
-		// reverse.
-		for i := 1; i < p; i++ {
-			adopt(i, i-1, msgDelta(0))
-		}
-	default: // dissemination for Barrier/Allreduce/Allgather/Alltoall/CommSplit
-		rounds := ceilLog2(p)
-		next := make([]float64, p)
-		nextA := make([]Attribution, p)
-		nextOrg := make([]int, p)
-		for j := 0; j < rounds; j++ {
-			step := (1 << uint(j)) % p
-			for i := 0; i < p; i++ {
-				src := (i - step + p) % p
-				msg := msgDelta(j)
-				if v := D[src] + msg; v > D[i] {
-					next[i] = v
-					nextA[i] = A[src].asRemote().addMsg(msg)
-					nextOrg[i] = org[src]
-				} else {
-					next[i] = D[i]
-					nextA[i] = A[i]
-					nextOrg[i] = org[i]
-				}
-			}
-			copy(D, next)
-			copy(A, nextA)
-			copy(org, nextOrg)
-		}
-	}
-	for i, part := range ordered {
-		part.outD = D[i]
-		part.outAttr = A[i]
-		part.outPredRef = ordered[org[i]].startRef
-		part.outPredD = ordered[org[i]].startD
-		if D[i] > cs.lMax {
-			cs.lMax = D[i]
-		}
-	}
+	in, outD, outAttr, outPred := a.collBufs(ordered)
+	cs.lMax = resolveExplicitKernel(a.smp, cs.kind, cs.bytes, cs.root, in, &a.csc, outD, outAttr, outPred)
+	applyCollOut(ordered, outD, outAttr, outPred)
 }
 
 // CollectiveRounds is the number of rounds the compact (Fig. 4) model

@@ -37,6 +37,14 @@ func splitMix64(x uint64) (uint64, uint64) {
 // Two generators with the same seed produce identical streams.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes r in place, exactly as NewRNG(seed) would,
+// without allocating. It exists for pooled replay state that re-seeds
+// a fixed hierarchy of generators once per replay.
+func (r *RNG) Reseed(seed uint64) {
 	x := seed
 	for i := range r.s {
 		r.s[i], x = splitMix64(x)
@@ -46,7 +54,6 @@ func NewRNG(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -112,12 +119,25 @@ func (r *RNG) Fork() *RNG {
 // any order still receive stable streams as long as their labels are
 // stable.
 func (r *RNG) ForkNamed(label string) *RNG {
+	return NewRNG(r.Uint64() ^ fnv64(label))
+}
+
+// ForkNamedInto is ForkNamed writing into an existing generator
+// instead of allocating one: dst ends in exactly the state
+// ForkNamed(label)'s result would have, and r advances identically.
+func (r *RNG) ForkNamedInto(label string, dst *RNG) {
+	dst.Reseed(r.Uint64() ^ fnv64(label))
+}
+
+// fnv64 is the FNV-1a hash of the label, the stable component of the
+// named-fork seed derivation.
+func fnv64(label string) uint64 {
 	h := uint64(1469598103934665603) // FNV-64 offset basis
 	for i := 0; i < len(label); i++ {
 		h ^= uint64(label[i])
 		h *= 1099511628211
 	}
-	return NewRNG(r.Uint64() ^ h)
+	return h
 }
 
 // Shuffle permutes the first n elements using the supplied swap

@@ -333,12 +333,18 @@ func runSec61(cfg Config) (*Outcome, error) {
 	for c := 0.0; c <= 700; c += 100 {
 		xs = append(xs, c)
 	}
+	// Every grid task analyzes the same deterministic trace under a
+	// different model: trace and compile once, replay per point.
+	set, err := traceWorkload("tokenring", ranks, workloads.Options{Iterations: traversals}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := core.Compile(set, core.Options{})
+	if err != nil {
+		return nil, err
+	}
 	results, err := parallel.Map(len(xs), cfg.pool(), func(i int) (*core.Result, error) {
-		set, err := traceWorkload("tokenring", ranks, workloads.Options{Iterations: traversals}, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		return core.Analyze(set, &core.Model{MsgLatency: dist.Constant{C: xs[i]}}, core.Options{})
+		return core.ReplayCompiled(prog, &core.Model{MsgLatency: dist.Constant{C: xs[i]}}, core.Options{})
 	})
 	if err != nil {
 		return nil, unwrapTask(err)
@@ -489,13 +495,19 @@ func runAblD(cfg Config) (*Outcome, error) {
 		"δ per message", "additive max-delay", "anchored max-delay")
 	deltas := []float64{10, 100, 1000, 10000}
 	modes := []core.PropagationMode{core.PropagationAdditive, core.PropagationAnchored}
+	// One deterministic trace serves the whole (delta × mode) grid:
+	// compile once, replay per cell.
+	set, err := traceWorkload("tokenring", n, workloads.Options{Iterations: iters}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := core.Compile(set, core.Options{})
+	if err != nil {
+		return nil, err
+	}
 	delays, err := parallel.Map(len(deltas)*len(modes), cfg.pool(), func(t int) (float64, error) {
 		c, mode := deltas[t/len(modes)], modes[t%len(modes)]
-		set, err := traceWorkload("tokenring", n, workloads.Options{Iterations: iters}, cfg.Seed)
-		if err != nil {
-			return 0, err
-		}
-		res, err := core.Analyze(set, &core.Model{
+		res, err := core.ReplayCompiled(prog, &core.Model{
 			MsgLatency:  dist.Constant{C: c},
 			Propagation: mode,
 		}, core.Options{})

@@ -105,7 +105,19 @@ type Config struct {
 	// integrated over their randomness instead of observed once. The
 	// per-point Result is trial 0's; the aggregate lands in
 	// Point.Trials. Values <= 1 run the classic single replay.
+	//
+	// Trials use the compiled fast path automatically: each point's
+	// trace is compiled once (core.Compile) and every trial replays
+	// the compiled program (core.ReplayCompiled), which is
+	// byte-identical to the streaming engine but skips re-parsing and
+	// re-matching. A non-nil Analyze.Graph falls back to streaming
+	// (the compiled replayer cannot feed a graph sink), as does
+	// StreamingTrials.
 	Trials int
+	// StreamingTrials forces Monte Carlo trials through the streaming
+	// analyzer instead of the compiled replayer — an escape hatch for
+	// debugging and for A/B-verifying the two engines.
+	StreamingTrials bool
 	// Metrics, when non-nil, receives sweep observability: tracing
 	// phase timers, point/trial counters, the pool metrics (it is
 	// passed into the worker pool), and — unless Analyze.Metrics is
@@ -287,14 +299,43 @@ func (ps *pointSnap) get(cfg Config, v float64, mcfg machine.Config) (*trace.Sna
 	return ps.snap, ps.err
 }
 
+// pointProg lazily traces and compiles one point's workload exactly
+// once (see core.Compile); the immutable program is then shared by all
+// of the point's trial replays.
+type pointProg struct {
+	once sync.Once
+	prog *core.Compiled
+	err  error
+}
+
+func (pp *pointProg) get(cfg Config, v float64, mcfg machine.Config) (*core.Compiled, error) {
+	pp.once.Do(func() {
+		set, err := cfg.tracePoint(v, mcfg)
+		if err != nil {
+			pp.err = err
+			return
+		}
+		pp.prog, pp.err = core.Compile(set, cfg.Analyze)
+	})
+	return pp.prog, pp.err
+}
+
 // runTrials fans out the flattened (point × trial) task grid. Each
-// point's trace is captured once as a snapshot and shared read-only
-// across its trials; each trial clones the point model with its own
-// derived seed, so no sampler state is ever shared between replays.
+// point's trace is captured once — compiled to a graph program on the
+// default path, snapshotted for the streaming fallback — and shared
+// read-only across its trials; each trial clones the point model with
+// its own derived seed, so no sampler state is ever shared between
+// replays. Both engines produce byte-identical results (pinned by the
+// core equivalence suite), so the fast path is not a mode switch.
 func (cfg Config) runTrials(vals []float64, popts parallel.Options) ([]Point, error) {
 	trials := cfg.Trials
+	streaming := cfg.StreamingTrials || cfg.Analyze.Graph != nil
 	snaps := make([]pointSnap, len(vals))
+	progs := make([]pointProg, len(vals))
 	cfg.Metrics.Counter("sweep_trials_total").Add(int64(len(vals) * trials))
+	if !streaming {
+		cfg.Metrics.Counter("sweep_compiled_points_total").Add(int64(len(vals)))
+	}
 	tick := cfg.progressTick(len(vals) * trials)
 	results, err := parallel.Map(len(vals)*trials, popts, func(t int) (*core.Result, error) {
 		defer tick()
@@ -304,15 +345,27 @@ func (cfg Config) runTrials(vals []float64, popts parallel.Options) ([]Point, er
 		if err != nil {
 			return nil, err
 		}
-		snap, err := snaps[p].get(cfg, v, mcfg)
+		trial := model.Clone()
+		trial.Seed = parallel.TaskSeed(cfg.ModelSeed, t)
+		var res *core.Result
+		if streaming {
+			snap, err := snaps[p].get(cfg, v, mcfg)
+			if err != nil {
+				return nil, err
+			}
+			set, release := snap.Acquire()
+			res, err = core.Analyze(set, trial, cfg.Analyze)
+			release()
+			if err != nil {
+				return nil, fmt.Errorf("sweep: value %g trial %d: %w", v, t%trials, err)
+			}
+			return res, nil
+		}
+		prog, err := progs[p].get(cfg, v, mcfg)
 		if err != nil {
 			return nil, err
 		}
-		trial := model.Clone()
-		trial.Seed = parallel.TaskSeed(cfg.ModelSeed, t)
-		set, release := snap.Acquire()
-		res, err := core.Analyze(set, trial, cfg.Analyze)
-		release()
+		res, err = core.ReplayCompiled(prog, trial, cfg.Analyze)
 		if err != nil {
 			return nil, fmt.Errorf("sweep: value %g trial %d: %w", v, t%trials, err)
 		}

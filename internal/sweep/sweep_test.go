@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -168,22 +169,29 @@ func TestMetricsAndProgress(t *testing.T) {
 	mu.Unlock()
 	snap := reg.Snapshot()
 	for name, want := range map[string]int64{
-		"sweep_points_total":   3,
-		"sweep_trials_total":   9,
-		"parallel_tasks_total": 9,
+		"sweep_points_total":          3,
+		"sweep_trials_total":          9,
+		"sweep_compiled_points_total": 3,
+		"parallel_tasks_total":        9,
 	} {
 		if got := snap.Counters[name]; got != want {
 			t.Errorf("%s = %d, want %d", name, got, want)
 		}
 	}
-	// Engine counters flow through Analyze.Metrics defaulting: 9 replays.
-	if got := snap.Counters["core_analyses_total"]; got != 9 {
-		t.Errorf("core_analyses_total = %d, want 9", got)
+	// Engine counters flow through Analyze.Metrics defaulting: each
+	// point compiles once (a zero-model streaming pass) and each trial
+	// replays the compiled program.
+	if got := snap.Counters["core_compiles_total"]; got != 3 {
+		t.Errorf("core_compiles_total = %d, want 3", got)
+	}
+	if got := snap.Counters["core_replays_total"]; got != 9 {
+		t.Errorf("core_replays_total = %d, want 9", got)
 	}
 	if snap.Counters["core_events_total"] == 0 {
 		t.Error("core_events_total is zero")
 	}
-	if ms := snap.PhaseMS(); ms["sweep_run"] <= 0 || ms["sweep_trace"] <= 0 || ms["core_analyze"] <= 0 {
+	if ms := snap.PhaseMS(); ms["sweep_run"] <= 0 || ms["sweep_trace"] <= 0 ||
+		ms["core_compile"] <= 0 || ms["core_replay_compiled"] <= 0 {
 		t.Errorf("phase timings not all positive: %v", ms)
 	}
 	if h, ok := snap.Histograms["parallel_task_ms"]; !ok || h.Count != 9 {
@@ -225,5 +233,40 @@ func TestMetricsDoNotChangeResults(t *testing.T) {
 	}
 	if plain.Fit != got.Fit {
 		t.Fatalf("fit diverged: %+v vs %+v", plain.Fit, got.Fit)
+	}
+}
+
+// TestStreamingTrialsMatchCompiled: the compiled fast path and the
+// streaming escape hatch must produce byte-identical sweeps — same
+// per-trial results, same aggregates, same fit.
+func TestStreamingTrialsMatchCompiled(t *testing.T) {
+	base := Config{
+		Workload:        "stencil1d",
+		WorkloadOptions: workloads.Options{Iterations: 3, CollEvery: 2},
+		Machine:         machine.Config{NRanks: 4, Seed: 9},
+		Param:           ParamLatency,
+		From:            0, To: 300, Step: 150,
+		ModelSeed: 17,
+		Trials:    4,
+		Workers:   2,
+	}
+	compiled, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streaming := base
+	streaming.StreamingTrials = true
+	want, err := Run(streaming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, compiled) {
+		for i := range want.Points {
+			if !reflect.DeepEqual(want.Points[i], compiled.Points[i]) {
+				t.Errorf("point %d diverged: streaming trials=%+v compiled trials=%+v",
+					i, want.Points[i].Trials, compiled.Points[i].Trials)
+			}
+		}
+		t.Fatal("compiled trials diverged from streaming trials")
 	}
 }

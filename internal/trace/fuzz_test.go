@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -128,6 +129,10 @@ func FuzzTextReader(f *testing.F) {
 	f.Add(edge.String())
 	f.Add(edge.String()[:edge.Len()-4]) // truncated final record
 	f.Add("# mpgt-text 1\nheader rank=0 nranks=1\n")
+	// A line past the old 1 MiB scanner cap: the reader must parse it,
+	// not error with bufio.ErrTooLong (see TestTextLongLine).
+	f.Add("# mpgt-text 1\nheader rank=0 nranks=1\nmeta blob=" +
+		strings.Repeat("y", (1<<20)+512) + "\n")
 	f.Add("nonsense")
 	f.Add("")
 	for _, s := range malformedSeeds() {

@@ -97,10 +97,17 @@ var kindByName = func() map[string]Kind {
 	return m
 }()
 
+// maxTextLine bounds a single line of the text format. Record lines
+// are tiny, but meta values are free-form and tool-generated traces
+// embed provenance blobs (command lines, config dumps) that have
+// tripped lower caps; 64 MiB keeps the reader permissive while still
+// refusing pathological unbounded input.
+const maxTextLine = 64 << 20
+
 // ReadText parses the text format into a header and records.
 func ReadText(r io.Reader) (Header, []Record, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sc.Buffer(make([]byte, 0, 64*1024), maxTextLine)
 	var h Header
 	var recs []Record
 	sawMagic, sawHeader := false, false

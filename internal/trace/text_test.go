@@ -101,6 +101,32 @@ func TestTextErrors(t *testing.T) {
 	}
 }
 
+// TestTextLongLine pins the reader's line budget: a meta value well
+// past bufio.Scanner's default (and past the 1 MiB cap the reader
+// used to set) must survive a round trip rather than fail with
+// bufio.ErrTooLong. Provenance blobs in tool-generated traces are the
+// real-world source of such lines.
+func TestTextLongLine(t *testing.T) {
+	long := strings.Repeat("x", 3<<20)
+	hdr := Header{Rank: 0, NRanks: 2, Meta: map[string]string{"provenance": long}}
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, hdr, recs); err != nil {
+		t.Fatal(err)
+	}
+	h2, r2, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("long meta line rejected: %v", err)
+	}
+	if h2.Meta["provenance"] != long {
+		t.Fatalf("long meta value truncated: got %d bytes, want %d",
+			len(h2.Meta["provenance"]), len(long))
+	}
+	if !reflect.DeepEqual(r2, recs) {
+		t.Fatal("records after the long line did not round-trip")
+	}
+}
+
 func TestTextRejectsNonMonotone(t *testing.T) {
 	// A rank's events form a serial history; an event beginning before
 	// its predecessor ended is a tracer bug the codec must surface, not

@@ -12,8 +12,9 @@ import (
 
 // CheckScenario runs every check the harness has against one
 // scenario: the structural linter over its generated trace, the
-// differential graph-vs-DES comparison, and the metamorphic property
-// suite. The returned strings are check failures; an empty slice means
+// differential graph-vs-DES comparison, the metamorphic property
+// suite, and the compiled-replay equivalence check. The returned
+// strings are check failures; an empty slice means
 // the scenario passes. Infrastructure errors (the scenario cannot even
 // be traced) are reported as failures too — a generated scenario that
 // crashes an engine is a finding, not an excuse.
@@ -40,6 +41,14 @@ func CheckScenario(sc *Scenario) []string {
 	} else {
 		for _, f := range mf {
 			failures = append(failures, "metamorphic: "+f)
+		}
+	}
+	cf, err := CompiledEquivalence(sc)
+	if err != nil {
+		failures = append(failures, fmt.Sprintf("compiled: %v", err))
+	} else {
+		for _, f := range cf {
+			failures = append(failures, "compiled: "+f)
 		}
 	}
 	return failures
