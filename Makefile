@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments fuzz verify tools clean
+.PHONY: all build test race cover bench experiments fuzz verify lint lint-baseline tools clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,17 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Domain static analysis (doc/LINT.md): determinism, RNG ownership,
+# float comparisons, hot-path allocation budgets. Exits 1 on any
+# finding that is neither suppressed in source nor baselined.
+lint:
+	$(GO) run ./cmd/mpg-lint ./...
+
+# Absorb all current findings into lint.baseline.json. Use sparingly:
+# the committed baseline is empty and is supposed to stay that way.
+lint-baseline:
+	$(GO) run ./cmd/mpg-lint -write-baseline ./...
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,133 @@
+// Command mpg-lint runs the repository's domain static-analysis
+// suite (internal/analysis): determinism, RNG-ownership, float-
+// comparison and hot-path-allocation checks that prove at lint time
+// what the replay equivalence suites can only sample at run time.
+//
+//	mpg-lint ./...                 # text report, exit 1 on findings
+//	mpg-lint -json ./...           # machine-readable report on stdout
+//	mpg-lint -list                 # describe the analyzers
+//	mpg-lint -write-baseline ./... # absorb current findings
+//
+// Exit codes: 0 — clean (every finding suppressed or baselined);
+// 1 — outstanding findings; 2 — usage or load error. The JSON report
+// is always written before a findings-driven nonzero exit, so CI can
+// both gate on the code and archive the report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpgraph/internal/analysis"
+	"mpgraph/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("mpg-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	outPath := fs.String("out", "", "also write the JSON report to this file")
+	baselinePath := fs.String("baseline", "lint.baseline.json", "baseline file (missing file = empty baseline)")
+	writeBaseline := fs.Bool("write-baseline", false, "absorb all current findings into the baseline file and exit 0")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	dir := fs.String("C", ".", "analyze the module enclosing this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(stderr, "mpg-lint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	baseline, err := analysis.LoadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "mpg-lint:", err)
+		return 2
+	}
+	res, err := analysis.Run(*dir, analysis.Config{
+		Patterns:  patterns,
+		Analyzers: analyzers,
+		Baseline:  baseline,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "mpg-lint:", err)
+		return 2
+	}
+	if *writeBaseline {
+		b := analysis.FromDiagnostics(res.Diagnostics)
+		if err := b.Save(*baselinePath); err != nil {
+			fmt.Fprintln(stderr, "mpg-lint:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "mpg-lint: wrote %d baseline entries to %s\n", len(b.Entries), *baselinePath)
+		return 0
+	}
+
+	rep := buildReport(res, analyzers)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "mpg-lint:", err)
+			return 2
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "mpg-lint:", err)
+			return 2
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, "mpg-lint:", err)
+			return 2
+		}
+	}
+	if *jsonOut {
+		if err := rep.WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "mpg-lint:", err)
+			return 2
+		}
+	} else if err := rep.WriteText(stdout); err != nil {
+		fmt.Fprintln(stderr, "mpg-lint:", err)
+		return 2
+	}
+	if rep.Outstanding > 0 {
+		return 1
+	}
+	return 0
+}
+
+func buildReport(res *analysis.Result, analyzers []*analysis.Analyzer) *report.LintReport {
+	rep := &report.LintReport{Packages: res.Packages}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	for _, d := range res.Diagnostics {
+		rep.Diagnostics = append(rep.Diagnostics, report.LintDiagnostic{
+			Analyzer:   d.Analyzer,
+			File:       d.File,
+			Line:       d.Line,
+			Col:        d.Col,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+			Reason:     d.Reason,
+			Baselined:  d.Baselined,
+		})
+	}
+	rep.Outstanding = len(res.Outstanding())
+	return rep
+}

@@ -1,0 +1,265 @@
+// Package analysis is a zero-dependency (stdlib go/ast + go/parser +
+// go/types only) static-analysis framework for the repository's own
+// source tree. It exists to prove, at lint time, the determinism and
+// hot-path invariants that the runtime test suites can only sample:
+// byte-identical serial/parallel/compiled replays (DESIGN.md §4.1
+// sample-invariant schedule, §4.3 order preservation) and the
+// ~12-allocs/replay compiled hot path.
+//
+// The framework loads packages with a lenient type checker (module
+// packages are type-checked from source; imports outside the module
+// resolve to empty stub packages, and the resulting "undeclared name"
+// errors are ignored), runs a set of domain Analyzers over each
+// package, and filters the diagnostics through explicit source
+// suppressions (//mpg:lint-ignore) and a committed baseline file.
+//
+// Two source directives drive the suite:
+//
+//	//mpg:hotpath
+//	    in a function's doc comment marks it as an allocation-free
+//	    hot path; the hotpathalloc analyzer then forbids allocating
+//	    constructs in its body.
+//
+//	//mpg:lint-ignore <analyzer> <reason>
+//	    suppresses one analyzer's diagnostics, either on the same
+//	    line (trailing comment) or — as a standalone comment — for
+//	    the whole statement or declaration that starts on the next
+//	    line. The reason is mandatory and is carried into reports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Directive prefixes recognized in comments.
+const (
+	DirectiveHotPath = "//mpg:hotpath"
+	DirectiveIgnore  = "//mpg:lint-ignore"
+)
+
+// Analyzer is one named check. Run is invoked once per loaded package
+// that falls inside the analyzer's scope.
+type Analyzer struct {
+	// Name is the stable identifier used in reports, suppressions
+	// and baselines.
+	Name string
+	// Doc is a one-line description, shown by mpg-lint -list.
+	Doc string
+	// Scope restricts the analyzer to packages whose import path
+	// matches one of these prefixes (a prefix matches the package
+	// itself or any package below it). Empty means every package.
+	Scope []string
+	// Exempt removes packages from Scope by the same prefix rule;
+	// exemption wins over scope.
+	Exempt []string
+	// Run performs the check, reporting findings via pass.Report.
+	Run func(pass *Pass)
+}
+
+// appliesTo reports whether the analyzer should run on a package.
+func (a *Analyzer) appliesTo(importPath string) bool {
+	for _, p := range a.Exempt {
+		if matchPrefix(importPath, p) {
+			return false
+		}
+	}
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, p := range a.Scope {
+		if matchPrefix(importPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchPrefix reports whether path is prefix itself or lies below it
+// ("a/b" matches "a/b" and "a/b/c", never "a/bc").
+func matchPrefix(path, prefix string) bool {
+	if !strings.HasPrefix(path, prefix) {
+		return false
+	}
+	return len(path) == len(prefix) || path[len(prefix)] == '/'
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	report func(Diagnostic)
+}
+
+// Report records a finding at the given position.
+func (p *Pass) Report(pos token.Pos, format string, args ...interface{}) {
+	position := p.Pkg.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, positioned in the source tree. File is
+// the path as the loader saw it (module-relative when loaded through
+// Load).
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+
+	// Suppressed is set when an //mpg:lint-ignore directive covers
+	// the diagnostic; Reason carries the directive's justification.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+	// Baselined is set when the committed baseline absorbs the
+	// diagnostic.
+	Baselined bool `json:"baselined,omitempty"`
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer for
+// stable output.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// suppression is one parsed //mpg:lint-ignore directive with the line
+// span it covers.
+type suppression struct {
+	analyzer  string
+	reason    string
+	firstLine int // first covered line
+	lastLine  int // last covered line (inclusive)
+	used      bool
+}
+
+// collectSuppressions parses every //mpg:lint-ignore directive in a
+// file. A trailing directive covers its own line; a standalone
+// directive covers the whole statement or declaration beginning on
+// the next non-comment line (so one directive can cover a multi-line
+// composite literal).
+func collectSuppressions(fset *token.FileSet, f *ast.File) []suppression {
+	var out []suppression
+	// Line spans of statements/declarations, for standalone
+	// directives that cover the following node.
+	type span struct{ first, last int }
+	var spans []span
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, *ast.Field:
+			spans = append(spans, span{
+				fset.Position(n.Pos()).Line,
+				fset.Position(n.End()).Line,
+			})
+		}
+		return true
+	})
+	coveredThrough := func(startLine int) int {
+		// The largest last-line among nodes starting on startLine.
+		last := startLine
+		for _, s := range spans {
+			if s.first == startLine && s.last > last {
+				last = s.last
+			}
+		}
+		return last
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, DirectiveIgnore) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, DirectiveIgnore))
+			name, reason, _ := strings.Cut(rest, " ")
+			line := fset.Position(c.Pos()).Line
+			s := suppression{
+				analyzer:  name,
+				reason:    strings.TrimSpace(reason),
+				firstLine: line,
+				lastLine:  line,
+			}
+			if fset.Position(c.Pos()).Column == 1 || standsAlone(fset, f, c) {
+				// Standalone comment: also cover the next node.
+				s.firstLine = line + 1
+				s.lastLine = coveredThrough(line + 1)
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// standsAlone reports whether the comment is the only thing on its
+// line (i.e. not a trailing comment after code).
+func standsAlone(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	alone := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !alone {
+			return false
+		}
+		if _, ok := n.(*ast.Comment); ok {
+			return true
+		}
+		if _, ok := n.(*ast.CommentGroup); ok {
+			return true
+		}
+		if fset.Position(n.Pos()).Line <= line && fset.Position(n.End()).Line >= line {
+			// A node overlapping the comment's line is fine if it's a
+			// container (block, function, file); only leaf code on the
+			// same exact line makes the comment "trailing".
+			switch n.(type) {
+			case *ast.File, *ast.BlockStmt, *ast.FuncDecl, *ast.GenDecl,
+				*ast.CaseClause, *ast.CommClause, *ast.StructType,
+				*ast.InterfaceType, *ast.FieldList, *ast.CompositeLit,
+				*ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+				*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+				return true
+			}
+			if fset.Position(n.Pos()).Line == line || fset.Position(n.End()).Line == line {
+				alone = false
+				return false
+			}
+		}
+		return true
+	})
+	return alone
+}
+
+// hasHotPathDirective reports whether a function declaration carries
+// the //mpg:hotpath marker in its doc comment.
+func hasHotPathDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == DirectiveHotPath || strings.HasPrefix(c.Text, DirectiveHotPath+" ") {
+			return true
+		}
+	}
+	return false
+}

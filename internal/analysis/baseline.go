@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is the committed debt ledger: diagnostics recorded here
+// are reported but do not gate. The repo ships an *empty* baseline —
+// the suite landed clean — so any entry added later is a visible,
+// reviewable IOU. Matching is by (analyzer, file, message) with
+// per-key counts, deliberately ignoring line numbers so unrelated
+// edits above a baselined finding don't resurrect it.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry is one absorbed diagnostic shape. Count allows
+// multiple identical findings in one file.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty
+// baseline (the strict default), a malformed one is an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Save writes the baseline as stable, diff-friendly JSON.
+func (b *Baseline) Save(path string) error {
+	if b.Entries == nil {
+		b.Entries = []BaselineEntry{}
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// absorb marks diagnostics matched by the baseline, consuming counts
+// so the baseline never hides more findings than it records.
+func (b *Baseline) absorb(diags []Diagnostic) {
+	remaining := map[string]int{}
+	for _, e := range b.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		remaining[baselineKey(e.Analyzer, e.File, e.Message)] += n
+	}
+	for i := range diags {
+		d := &diags[i]
+		if d.Suppressed {
+			continue
+		}
+		k := baselineKey(d.Analyzer, d.File, d.Message)
+		if remaining[k] > 0 {
+			remaining[k]--
+			d.Baselined = true
+		}
+	}
+}
+
+// FromDiagnostics builds a baseline absorbing every outstanding
+// diagnostic in ds (suppressed ones are already handled in source).
+func FromDiagnostics(ds []Diagnostic) *Baseline {
+	counts := map[BaselineEntry]int{}
+	for _, d := range ds {
+		if d.Suppressed {
+			continue
+		}
+		counts[BaselineEntry{Analyzer: d.Analyzer, File: d.File, Message: d.Message}]++
+	}
+	b := &Baseline{}
+	for e, n := range counts {
+		e.Count = n
+		b.Entries = append(b.Entries, e)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAllocAnalyzer enforces the allocation budget of functions
+// annotated //mpg:hotpath. The compiled replay loop owes its ~12
+// allocs/replay (BENCH_replay.json, AllocsPerRun guards) to every
+// buffer being pooled or preallocated; one stray literal or append in
+// a kernel silently multiplies by the number of Monte Carlo trials.
+// The analyzer is deliberately stricter than the optimizer — a
+// construct the escape analyzer would stack-allocate still needs an
+// explicit suppression, which doubles as documentation of the alloc
+// budget and is pinned by the corresponding AllocsPerRun test.
+//
+// Inside an annotated function it flags:
+//
+//   - make/new calls and &composite-literal (heap allocations);
+//   - slice and map composite literals (allocate backing storage) —
+//     plain struct *value* literals stay legal;
+//   - append calls (growth may allocate; preallocate capacity or
+//     justify via suppression);
+//   - function literals (closure environments may allocate);
+//   - fmt.* calls (allocate and box through interfaces);
+//   - implicit boxing: a non-pointer concrete value passed to an
+//     interface parameter or assigned to an interface variable.
+var HotPathAllocAnalyzer = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbids allocating constructs inside functions annotated //mpg:hotpath",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasHotPathDirective(fn) {
+				continue
+			}
+			checkHotBody(pass, fn)
+		}
+	}
+}
+
+func checkHotBody(pass *Pass, fn *ast.FuncDecl) {
+	skipComposite := map[*ast.CompositeLit]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Report(x.Pos(), "closure in hot path %s: the environment may be heap-allocated; hoist to a method or suppress with an AllocsPerRun-backed justification", fn.Name.Name)
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" {
+				if cl, ok := x.X.(*ast.CompositeLit); ok {
+					skipComposite[cl] = true
+					pass.Report(x.Pos(), "&composite literal in hot path %s escapes to the heap", fn.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			if skipComposite[x] {
+				return true
+			}
+			t := pass.Pkg.typeOf(x)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Report(x.Pos(), "%s literal in hot path %s allocates backing storage", kindWord(t), fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fn, x)
+		case *ast.AssignStmt:
+			checkHotBoxingAssign(pass, fn, x)
+		}
+		return true
+	})
+}
+
+func kindWord(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+func checkHotCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	switch {
+	case pass.Pkg.isBuiltin(call, "make"):
+		pass.Report(call.Pos(), "make in hot path %s allocates; preallocate in the pooled state and reuse", fn.Name.Name)
+		return
+	case pass.Pkg.isBuiltin(call, "new"):
+		pass.Report(call.Pos(), "new in hot path %s allocates; preallocate in the pooled state and reuse", fn.Name.Name)
+		return
+	case pass.Pkg.isBuiltin(call, "append"):
+		pass.Report(call.Pos(), "append in hot path %s may grow its backing array; preallocate capacity (three-index slice from pooled backing) or suppress with justification", fn.Name.Name)
+		return
+	}
+	if p, name, ok := pass.Pkg.callTarget(call); ok && p == "fmt" {
+		pass.Report(call.Pos(), "fmt.%s in hot path %s allocates and boxes its operands", name, fn.Name.Name)
+		return
+	}
+	checkHotBoxingCall(pass, fn, call)
+}
+
+// checkHotBoxingCall flags non-pointer concrete arguments passed to
+// interface parameters (implicit boxing allocates; pointers fit in
+// the interface word and do not).
+func checkHotBoxingCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	ft := pass.Pkg.typeOf(call.Fun)
+	if ft == nil {
+		return
+	}
+	sig, ok := ft.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if boxes(pass, arg) {
+			pass.Report(arg.Pos(), "implicit interface conversion in hot path %s boxes a value on the heap; pass a pointer or restructure", fn.Name.Name)
+		}
+	}
+}
+
+// checkHotBoxingAssign flags assignments of non-pointer concrete
+// values to interface-typed destinations.
+func checkHotBoxingAssign(pass *Pass, fn *ast.FuncDecl, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		lt := pass.Pkg.typeOf(lhs)
+		if lt == nil || !types.IsInterface(lt) {
+			continue
+		}
+		if boxes(pass, as.Rhs[i]) {
+			pass.Report(as.Rhs[i].Pos(), "implicit interface conversion in hot path %s boxes a value on the heap; store a pointer instead", fn.Name.Name)
+		}
+	}
+}
+
+// boxes reports whether assigning e to an interface would heap-box
+// it: a concrete non-pointer, non-interface, non-nil value. Small
+// integer constants (the runtime's staticuint64s) are still reported:
+// the hot path should not rely on that cache.
+func boxes(pass *Pass, e ast.Expr) bool {
+	t := pass.Pkg.typeOf(e)
+	if t == nil {
+		return false
+	}
+	if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.IsNil() {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Signature:
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return false
+	}
+	return true
+}

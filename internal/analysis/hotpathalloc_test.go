@@ -1,0 +1,102 @@
+package analysis
+
+import "testing"
+
+func TestHotPathAllocFlagsAllocatingConstructs(t *testing.T) {
+	res := runFixture(t, HotPathAllocAnalyzer, "mpgraph/internal/sim/fixture", "internal/sim/fixture/hot.go", `
+package fixture
+
+import "fmt"
+
+type node struct{ next *node }
+
+//mpg:hotpath
+func Hot(n int) int {
+	buf := make([]float64, n)
+	buf = append(buf, 1)
+	head := &node{}
+	f := func() int { return n }
+	ids := []int{1, 2}
+	fmt.Println(n)
+	_ = buf
+	_ = head
+	_ = ids
+	return f()
+}
+`)
+	wantOutstanding(t, res,
+		"make in hot path Hot",
+		"append in hot path Hot",
+		"&composite literal in hot path Hot",
+		"closure in hot path Hot",
+		"slice literal in hot path Hot",
+		"fmt.Println in hot path Hot",
+	)
+}
+
+func TestHotPathAllocFlagsInterfaceBoxing(t *testing.T) {
+	res := runFixture(t, HotPathAllocAnalyzer, "mpgraph/internal/sim/fixture", "internal/sim/fixture/box.go", `
+package fixture
+
+type point struct{ x, y float64 }
+
+func sink(v interface{}) {}
+
+//mpg:hotpath
+func Box(p point, pp *point) interface{} {
+	sink(p)  // boxes: concrete value into interface parameter
+	sink(pp) // pointer fits in the interface word: no boxing
+	var out interface{}
+	out = p
+	return out
+}
+`)
+	wantOutstanding(t, res,
+		"boxes a value on the heap; pass a pointer",
+		"boxes a value on the heap; store a pointer",
+	)
+}
+
+func TestHotPathAllocIgnoresUnannotatedAndValueLiterals(t *testing.T) {
+	res := runFixture(t, HotPathAllocAnalyzer, "mpgraph/internal/sim/fixture", "internal/sim/fixture/cold.go", `
+package fixture
+
+type pair struct{ a, b int }
+
+func Cold(n int) []int {
+	return make([]int, n) // unannotated: allocation is fine
+}
+
+//mpg:hotpath
+func HotValue(n int) int {
+	p := pair{a: n, b: n} // struct *value* literal: no heap allocation
+	return p.a + p.b
+}
+`)
+	wantOutstanding(t, res)
+}
+
+func TestHotPathAllocSuppressionCoversMultilineStatement(t *testing.T) {
+	res := runFixture(t, HotPathAllocAnalyzer, "mpgraph/internal/sim/fixture", "internal/sim/fixture/supp.go", `
+package fixture
+
+type result struct {
+	delays  []float64
+	regions map[string]float64
+}
+
+//mpg:hotpath
+func Finish(n int) *result {
+	//mpg:lint-ignore hotpathalloc the returned result is the one documented allocation group, AllocsPerRun-guarded
+	res := &result{
+		delays:  make([]float64, n),
+		regions: make(map[string]float64, 4),
+	}
+	return res
+}
+`)
+	// One standalone directive covers the whole multi-line composite
+	// literal: the &literal and both makes inside it.
+	wantOutstanding(t, res)
+	wantSuppressed(t, res, 3)
+}

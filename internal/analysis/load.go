@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under
+// analysis. Type information is best-effort: imports from outside the
+// module resolve to empty stub packages, so expressions involving
+// them carry invalid types and the TypeErrors list is usually
+// non-empty. Analyzers must treat missing type information as "no
+// finding", never as an error.
+type Package struct {
+	ImportPath string
+	Dir        string // module-relative, slash-separated
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// Loader resolves and type-checks module packages from source. One
+// Loader shares a FileSet and a package cache across all Load calls,
+// so a package imported by several analyzed packages is checked once.
+type Loader struct {
+	// Root is the absolute path of the module root (the directory
+	// holding go.mod).
+	Root string
+	// ModulePath is the module's import path from go.mod.
+	ModulePath string
+
+	fset  *token.FileSet
+	pkgs  map[string]*Package       // by import path; nil while loading (cycle guard)
+	stubs map[string]*types.Package // non-module imports
+}
+
+// NewLoader locates the enclosing module starting from dir (walking
+// up to the filesystem root) and returns a loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		mod := filepath.Join(d, "go.mod")
+		if data, err := os.ReadFile(mod); err == nil {
+			mp := modulePath(string(data))
+			if mp == "" {
+				return nil, fmt.Errorf("analysis: no module line in %s", mod)
+			}
+			return &Loader{
+				Root:       d,
+				ModulePath: mp,
+				fset:       token.NewFileSet(),
+				pkgs:       make(map[string]*Package),
+				stubs:      make(map[string]*types.Package),
+			}, nil
+		}
+		if filepath.Dir(d) == d {
+			return nil, fmt.Errorf("analysis: no go.mod above %s", abs)
+		}
+	}
+}
+
+// modulePath extracts the module path from go.mod content.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Fset exposes the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load expands the given patterns ("./...", "./internal/core",
+// "internal/core/...") into module package directories and loads each
+// one. The result is sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		recursive := false
+		if pat == "..." {
+			pat, recursive = "", true
+		} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			pat, recursive = rest, true
+		}
+		base := filepath.Join(l.Root, filepath.FromSlash(pat))
+		if !recursive {
+			if hasGoFiles(base) {
+				dirs[pat] = true
+			} else {
+				return nil, fmt.Errorf("analysis: no Go files in %s", base)
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor" || name == "bin") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				rel, err := filepath.Rel(l.Root, p)
+				if err != nil {
+					return err
+				}
+				rel = filepath.ToSlash(rel)
+				if rel == "." {
+					rel = ""
+				}
+				dirs[rel] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []*Package
+	for dir := range dirs {
+		ip := l.ModulePath
+		if dir != "" {
+			ip = path.Join(l.ModulePath, dir)
+		}
+		pkg, err := l.loadPackage(ip)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test Go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if analyzableFile(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func analyzableFile(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+}
+
+// loadPackage parses and type-checks one module package by import
+// path, caching the result. Import cycles (illegal in Go anyway)
+// resolve to a stub rather than recursing forever.
+func (l *Loader) loadPackage(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	l.pkgs[importPath] = nil // cycle guard
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.ModulePath), "/")
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", importPath, err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		if !analyzableFile(e) {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		displayName := path.Join(rel, name)
+		f, err := parser.ParseFile(l.fset, displayName, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", displayName, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		delete(l.pkgs, importPath)
+		return nil, nil
+	}
+	pkg, err := l.check(importPath, rel, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// CheckSource type-checks a single in-memory file as a package with
+// the given import path, resolving module imports against the real
+// module source. It exists for fixture tests that embed snippets.
+func (l *Loader) CheckSource(importPath, filename, src string) (*Package, error) {
+	f, err := parser.ParseFile(l.fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(importPath, path.Dir(filename), []*ast.File{f})
+}
+
+// check runs the lenient type checker over the parsed files.
+func (l *Loader) check(importPath, rel string, files []*ast.File) (*Package, error) {
+	var typeErrs []error
+	conf := types.Config{
+		Importer:    (*moduleImporter)(l),
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	// Errors are expected (stubbed external imports); the returned
+	// package is still usable for best-effort analysis.
+	tpkg, _ := conf.Check(importPath, l.fset, files, info)
+	return &Package{
+		ImportPath: importPath,
+		Dir:        rel,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: typeErrs,
+	}, nil
+}
+
+// moduleImporter resolves module-internal imports from source and
+// everything else (stdlib, third-party) to empty stub packages.
+type moduleImporter Loader
+
+func (m *moduleImporter) Import(p string) (*types.Package, error) {
+	l := (*Loader)(m)
+	if p == l.ModulePath || strings.HasPrefix(p, l.ModulePath+"/") {
+		pkg, err := l.loadPackage(p)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil || pkg.Types == nil {
+			return m.stub(p), nil
+		}
+		return pkg.Types, nil
+	}
+	return m.stub(p), nil
+}
+
+// stub fabricates an empty, complete package for a non-module import.
+// Selector lookups against it produce ordinary type errors, which the
+// lenient checker swallows.
+func (m *moduleImporter) stub(p string) *types.Package {
+	if s, ok := m.stubs[p]; ok {
+		return s
+	}
+	name := path.Base(p)
+	// "math/rand/v2" and friends: the package name is the element
+	// before the version suffix.
+	if len(name) > 1 && name[0] == 'v' && strings.Trim(name[1:], "0123456789") == "" {
+		name = path.Base(path.Dir(p))
+	}
+	s := types.NewPackage(p, name)
+	s.MarkComplete()
+	m.stubs[p] = s
+	return s
+}

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// deterministicScope is the set of packages whose outputs must be a
+// pure function of (trace, model, seed): the propagation engines, the
+// differential verifier, and the DES oracle. The observability layer
+// and the CLI front-ends are deliberately outside it — wall-clock
+// timing and progress reporting live there by design.
+var deterministicScope = []string{
+	"mpgraph/internal/core",
+	"mpgraph/internal/verify",
+	"mpgraph/internal/des",
+}
+
+// NondetAnalyzer forbids the three classic determinism leaks inside
+// the deterministic packages:
+//
+//   - time.Now / time.Since: wall-clock reads make results
+//     run-dependent;
+//   - math/rand (and math/rand/v2): the global generator is seeded
+//     per-process and shared; all randomness must flow through
+//     mpgraph/internal/dist seeded generators;
+//   - ranging over a map, unless the loop only collects keys/values
+//     into slices that are subsequently sorted in the same function.
+//     Go randomizes map iteration order per run, and even "harmless"
+//     floating-point accumulation over a map is order-sensitive
+//     because FP addition is not associative.
+var NondetAnalyzer = &Analyzer{
+	Name:  "nondet",
+	Doc:   "forbids time.Now, global math/rand, and unsorted map iteration in deterministic packages",
+	Scope: deterministicScope,
+	Run:   runNondet,
+}
+
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true, // calls Now internally
+	"Until": true,
+}
+
+func runNondet(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			switch impPath(imp) {
+			case "math/rand", "math/rand/v2":
+				pass.Report(imp.Pos(), "package %s imported in a deterministic package; use seeded mpgraph/internal/dist generators", impPath(imp))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if p, name, ok := pass.Pkg.callTarget(x); ok && p == "time" && forbiddenTimeFuncs[name] {
+					pass.Report(x.Pos(), "time.%s in a deterministic package: results must not depend on wall-clock time", name)
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, f, x)
+			}
+			return true
+		})
+	}
+}
+
+func impPath(imp *ast.ImportSpec) string {
+	p := imp.Path.Value
+	if len(p) >= 2 {
+		p = p[1 : len(p)-1]
+	}
+	return p
+}
+
+// checkMapRange flags iteration over maps unless it follows the
+// collect-then-sort idiom: every statement in the loop body appends
+// the key or value to a slice variable (possibly behind a plain
+// if-filter), and at least one of those slices is later passed to a
+// sort-package call inside the same function.
+func checkMapRange(pass *Pass, f *ast.File, rng *ast.RangeStmt) {
+	t := pass.Pkg.typeOf(rng.X)
+	if !isMap(t) {
+		return
+	}
+	collected := map[string]bool{}
+	if collectOnly(pass, rng.Body.List, collected) && len(collected) > 0 &&
+		sortedLater(pass, f, rng, collected) {
+		return
+	}
+	pass.Report(rng.Pos(), "map iteration order is nondeterministic: collect keys and sort before use, or suppress with justification")
+}
+
+// collectOnly reports whether every statement is an append of the
+// form `s = append(s, ...)` — optionally wrapped in an else-less if —
+// recording the destination slice names.
+func collectOnly(pass *Pass, stmts []ast.Stmt, collected map[string]bool) bool {
+	for _, st := range stmts {
+		switch x := st.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != 1 || len(x.Rhs) != 1 {
+				return false
+			}
+			lhs, ok := x.Lhs[0].(*ast.Ident)
+			if !ok {
+				return false
+			}
+			call, ok := x.Rhs[0].(*ast.CallExpr)
+			if !ok || !pass.Pkg.isBuiltin(call, "append") || len(call.Args) == 0 {
+				return false
+			}
+			if first, ok := call.Args[0].(*ast.Ident); !ok || first.Name != lhs.Name {
+				return false
+			}
+			collected[lhs.Name] = true
+		case *ast.IfStmt:
+			if x.Else != nil || x.Init != nil || !collectOnly(pass, x.Body.List, collected) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sortedLater reports whether, after the range statement, the
+// enclosing function passes one of the collected slices to a
+// sort-package function.
+func sortedLater(pass *Pass, f *ast.File, rng *ast.RangeStmt, collected map[string]bool) bool {
+	body := enclosingFuncBody(f, rng)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if p, _, ok := pass.Pkg.callTarget(call); !ok || (p != "sort" && p != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && collected[id.Name] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// FloateqAnalyzer forbids exact floating-point comparisons (==, !=,
+// >=) in the deterministic packages outside the two approved kernel
+// files. The engines' equality guarantees are *byte* guarantees
+// produced by executing identical operation sequences — scattering ad
+// hoc exact comparisons invites code that is correct only until an
+// operand is computed by a different-but-equivalent expression.
+// Ordered merges (>, <) are the engine's bread and butter and stay
+// legal; >= is forbidden because its equality half silently changes
+// winner-selection (and therefore attribution/critical-path argmax)
+// between "first wins" and "last wins".
+var FloateqAnalyzer = &Analyzer{
+	Name:  "floateq",
+	Doc:   "forbids ==, != and >= on floating-point values outside the approved compute kernels",
+	Scope: deterministicScope,
+	Run:   runFloateq,
+}
+
+// floateqApprovedFiles are the shared propagation kernels where exact
+// FP comparison is the point (both engines must take bitwise-equal
+// branches).
+var floateqApprovedFiles = map[string]bool{
+	"internal/core/compute.go": true,
+	"internal/core/eq.go":      true,
+}
+
+func runFloateq(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		name := pass.Pkg.Fset.Position(f.Pos()).Filename
+		if floateqApprovedFiles[name] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			var op string
+			switch be.Op.String() {
+			case "==", "!=", ">=":
+				op = be.Op.String()
+			default:
+				return true
+			}
+			xt, yt := pass.Pkg.typeOf(be.X), pass.Pkg.typeOf(be.Y)
+			if !isFloat(xt) && !isFloat(yt) {
+				return true
+			}
+			if isConstExpr(pass, be.X) && isConstExpr(pass, be.Y) {
+				return true // compile-time constant comparison
+			}
+			// x != x is the portable NaN test; leave it alone.
+			if ix, ok := be.X.(*ast.Ident); ok {
+				if iy, ok := be.Y.(*ast.Ident); ok && ix.Name == iy.Name {
+					return true
+				}
+			}
+			pass.Report(be.OpPos, "exact floating-point comparison (%s) outside the approved kernels; compare via the shared kernels, use an epsilon, or suppress with justification", op)
+			return true
+		})
+	}
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}

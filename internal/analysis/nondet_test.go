@@ -1,0 +1,81 @@
+package analysis
+
+import "testing"
+
+const nondetScope = "mpgraph/internal/core/fixture"
+
+func TestNondetFlagsClockRandAndMapRange(t *testing.T) {
+	res := runFixture(t, NondetAnalyzer, nondetScope, "internal/core/fixture/bad.go", `
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Bad(m map[int]float64) float64 {
+	start := time.Now()
+	_ = start
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum + rand.Float64()
+}
+`)
+	wantOutstanding(t, res,
+		"math/rand imported in a deterministic package",
+		"time.Now in a deterministic package",
+		"map iteration order is nondeterministic",
+	)
+}
+
+func TestNondetAllowsCollectThenSort(t *testing.T) {
+	res := runFixture(t, NondetAnalyzer, nondetScope, "internal/core/fixture/good.go", `
+package fixture
+
+import "sort"
+
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+`)
+	wantOutstanding(t, res)
+}
+
+func TestNondetOutsideScope(t *testing.T) {
+	// The observability layer may read the clock.
+	res := runFixture(t, NondetAnalyzer, "mpgraph/internal/obsv/fixture", "internal/obsv/fixture/clock.go", `
+package fixture
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`)
+	wantOutstanding(t, res)
+}
+
+func TestNondetSuppression(t *testing.T) {
+	res := runFixture(t, NondetAnalyzer, nondetScope, "internal/core/fixture/supp.go", `
+package fixture
+
+func Sum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { //mpg:lint-ignore nondet demonstration fixture: order-insensitive integer max
+		if v > sum {
+			sum = v
+		}
+	}
+	return sum
+}
+`)
+	wantOutstanding(t, res)
+	wantSuppressed(t, res, 1)
+}

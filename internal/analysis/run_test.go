@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestInjectedViolationGates demonstrates the CI gate end to end: a
+// module that sneaks a determinism violation into a deterministic
+// package produces outstanding diagnostics, which is exactly the
+// condition under which mpg-lint exits 1.
+func TestInjectedViolationGates(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module mpgraph\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "core", "bad.go"), `
+package core
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
+`)
+	res, err := Run(dir, Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := res.Outstanding()
+	if len(out) != 1 {
+		t.Fatalf("got %d outstanding diagnostics, want 1:\n%s", len(out), formatDiags(out))
+	}
+	if out[0].Analyzer != "nondet" || out[0].File != "internal/core/bad.go" {
+		t.Errorf("unexpected diagnostic: %+v", out[0])
+	}
+}
+
+// TestRepositoryClean is the acceptance criterion: the full suite over
+// the real module with the committed (empty) baseline reports nothing.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	bl, err := LoadBaseline(filepath.Join(l.Root, "lint.baseline.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(bl.Entries) != 0 {
+		t.Errorf("committed baseline has %d entries; the suite is supposed to be clean without debt", len(bl.Entries))
+	}
+	res, err := Run(".", Config{Baseline: bl})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out := res.Outstanding(); len(out) != 0 {
+		t.Errorf("repository is not lint-clean:\n%s", formatDiags(out))
+	}
+}
+
+// TestDirectiveValidation: an ignore directive must name a known
+// analyzer and carry a reason; a bare or misspelled directive is
+// itself a gating finding and cannot suppress anything.
+func TestDirectiveValidation(t *testing.T) {
+	res := runFixture(t, FloateqAnalyzer, nondetScope, "internal/core/fixture/dir.go", `
+package fixture
+
+func Bad(a, b float64) (bool, bool, bool) {
+	//mpg:lint-ignore floateqq epsilon free by design
+	x := a == b
+	//mpg:lint-ignore floateq
+	y := a != b
+	//mpg:lint-ignore
+	z := a >= b
+	return x, y, z
+}
+`)
+	wantOutstanding(t, res,
+		"names unknown analyzer \"floateqq\"",
+		"exact floating-point comparison (==)",
+		"carries no reason",
+		"exact floating-point comparison (!=)",
+		"names no analyzer",
+		"exact floating-point comparison (>=)",
+	)
+}
+
+// TestSuppressionScope: a trailing directive covers only its own line;
+// an unrelated analyzer name suppresses nothing.
+func TestSuppressionScope(t *testing.T) {
+	res := runFixture(t, FloateqAnalyzer, nondetScope, "internal/core/fixture/scope.go", `
+package fixture
+
+func Mixed(a, b float64) (bool, bool) {
+	x := a == b //mpg:lint-ignore nondet wrong analyzer: must not absorb the floateq finding
+	y := a == b //mpg:lint-ignore floateq demonstration fixture
+	return x, y
+}
+`)
+	wantOutstanding(t, res, "exact floating-point comparison (==)")
+	wantSuppressed(t, res, 1)
+}
+
+func TestBaselineAbsorbsByCount(t *testing.T) {
+	res := runFixture(t, FloateqAnalyzer, nondetScope, "internal/core/fixture/base.go", `
+package fixture
+
+func Twice(a, b float64) (bool, bool) {
+	return a == b, a == b
+}
+`)
+	if got := len(res.Outstanding()); got != 2 {
+		t.Fatalf("precondition: want 2 outstanding, got %d", got)
+	}
+	// A baseline with count 1 absorbs exactly one of the two identical
+	// findings — baselines never hide more than they record.
+	bl := &Baseline{Entries: []BaselineEntry{{
+		Analyzer: "floateq",
+		File:     res.Diagnostics[0].File,
+		Message:  res.Diagnostics[0].Message,
+		Count:    1,
+	}}}
+	bl.absorb(res.Diagnostics)
+	var baselined, outstanding int
+	for _, d := range res.Diagnostics {
+		if d.Baselined {
+			baselined++
+		} else if !d.Suppressed {
+			outstanding++
+		}
+	}
+	if baselined != 1 || outstanding != 1 {
+		t.Errorf("got %d baselined / %d outstanding, want 1 / 1", baselined, outstanding)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	b := &Baseline{Entries: []BaselineEntry{
+		{Analyzer: "nondet", File: "internal/core/x.go", Message: "m", Count: 2},
+	}}
+	if err := b.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(got.Entries) != 1 || got.Entries[0] != b.Entries[0] {
+		t.Errorf("round trip mismatch: %+v", got.Entries)
+	}
+	missing, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline(missing): %v", err)
+	}
+	if len(missing.Entries) != 0 {
+		t.Errorf("missing baseline should be empty, got %+v", missing.Entries)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

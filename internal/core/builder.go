@@ -664,7 +664,11 @@ func (a *analyzer) sendCompletion(rs *rankState, m *msgState, w int64) (float64,
 	a.res.Ranks[rs.rank].InjectedLocal += dOS1
 	local, remote, localAttr, remoteAttr := sendCompletionKernel(
 		a.model.Propagation, rs.startD, rs.startAttr, dOS1, w, &m.xfer)
-	if a.merge(rs, local, remote) == remote && remote > local {
+	a.merge(rs, local, remote)
+	// mergeStats adopts the remote path exactly when remote > local,
+	// so the branch repeats its comparison instead of re-testing the
+	// returned float for equality.
+	if remote > local {
 		a.critRemoteMsg(rs, m)
 		return remote, remoteAttr
 	}
@@ -677,7 +681,8 @@ func (a *analyzer) recvCompletion(rs *rankState, m *msgState, w int64) (float64,
 	a.res.Ranks[rs.rank].InjectedLocal += m.dOS2
 	local, remote, localAttr, remoteAttr := recvCompletionKernel(
 		a.model.Propagation, rs.startD, rs.startAttr, w, &m.xfer)
-	if a.merge(rs, local, remote) == remote && remote > local {
+	a.merge(rs, local, remote)
+	if remote > local {
 		if a.model.Propagation == PropagationAnchored {
 			if a.crit != nil {
 				// Anchored receive: the remote path is always the data

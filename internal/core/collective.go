@@ -71,7 +71,8 @@ func (a *analyzer) completeCollective(rs *rankState, rec trace.Record) (float64,
 			if a.model.Propagation == PropagationAnchored {
 				remote -= float64(p.dur)
 			}
-			if a.merge(rs, local, remote) == remote && remote > local {
+			a.merge(rs, local, remote)
+			if remote > local {
 				if a.crit != nil {
 					rs.critEnd = critStep{pred: p.outPredRef, predD: p.outPredD, kind: EdgeCollective, hasPred: true}
 				}

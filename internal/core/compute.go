@@ -41,6 +41,8 @@ type xfer struct {
 //
 //	cData = D(send start) + δ_λ1 + δ_t(d)   — the data path
 //	cRecv = max(cData, D(recv post))        — transfer completion
+//
+//mpg:hotpath
 func (x *xfer) resolveCompletion() {
 	x.cData = x.sendStartD + x.dLat1 + x.dPerByte
 	x.cRecv = x.cData
@@ -54,6 +56,8 @@ func (x *xfer) resolveCompletion() {
 // recvPerspective is the attribution of the transfer completion as
 // seen by the receiving rank: a data-path win is remote, an own-post
 // win is local.
+//
+//mpg:hotpath
 func (x *xfer) recvPerspective() Attribution {
 	if x.cRecvFromData {
 		return x.sendAttr.asRemote().addMsg(x.dLat1 + x.dPerByte)
@@ -64,6 +68,8 @@ func (x *xfer) recvPerspective() Attribution {
 // sendPerspective is the attribution of the transfer completion as
 // seen by the sending rank: its own data path stays local, a
 // receiver-post win is remote.
+//
+//mpg:hotpath
 func (x *xfer) sendPerspective() Attribution {
 	if x.cRecvFromData {
 		return x.sendAttr.addMsg(x.dLat1 + x.dPerByte)
@@ -76,6 +82,8 @@ func (x *xfer) sendPerspective() Attribution {
 // acknowledgment latency δ_λ2 (and, anchored, the receiver-side noise
 // that Eq. 1's third term includes). Both candidate attributions are
 // returned; the caller merges and picks.
+//
+//mpg:hotpath
 func sendCompletionKernel(mode PropagationMode, startD float64, startAttr Attribution, dOS1 float64, w int64, x *xfer) (local, remote float64, localAttr, remoteAttr Attribution) {
 	if mode == PropagationAnchored {
 		local = startD
@@ -99,6 +107,8 @@ func sendCompletionKernel(mode PropagationMode, startD float64, startAttr Attrib
 
 // recvCompletionKernel applies Eq. 1's receiver rule: the local path
 // carries δ_os2, the remote path is the data arrival.
+//
+//mpg:hotpath
 func recvCompletionKernel(mode PropagationMode, startD float64, startAttr Attribution, w int64, x *xfer) (local, remote float64, localAttr, remoteAttr Attribution) {
 	if mode == PropagationAnchored {
 		local = startD
@@ -122,6 +132,8 @@ func recvCompletionKernel(mode PropagationMode, startD float64, startAttr Attrib
 // combineLocalKernel folds a local-edge delta into the running delay.
 // Additive: D(end) = D(start) + δ. Anchored: the event's traced
 // duration absorbs the delta: D(end) = max(D(start), D(start)+δ−w).
+//
+//mpg:hotpath
 func combineLocalKernel(mode PropagationMode, startD float64, startAttr Attribution, delta float64, w int64) (float64, Attribution) {
 	if mode == PropagationAnchored {
 		v := startD + delta - float64(w)
@@ -136,6 +148,8 @@ func combineLocalKernel(mode PropagationMode, startD float64, startAttr Attribut
 // mergeStats folds one remote contribution into the local one,
 // recording absorbed/propagated statistics for the rank and its
 // current region.
+//
+//mpg:hotpath
 func mergeStats(rr *RankResult, reg *RegionStats, local, remote float64) float64 {
 	if remote > local {
 		rr.Propagated++
@@ -164,6 +178,8 @@ type collIn struct {
 // to all participants. outPred[i] is the index (into in) of the
 // participant whose start subevent anchors the winning path. The
 // returned value is the propagated max.
+//
+//mpg:hotpath
 func resolveApproxKernel(smp *sampler, kind trace.Kind, bytes int64, in []collIn, outD []float64, outAttr []Attribution, outPred []int32) float64 {
 	p := len(in)
 	rounds := ceilLog2(p)
@@ -231,6 +247,8 @@ func (s *collScratch) ensure(p int) {
 // (into in) of the participant whose start subevent anchors member
 // i's winning adopt chain. The returned value is the largest outbound
 // delay (for graph labels).
+//
+//mpg:hotpath
 func resolveExplicitKernel(smp *sampler, kind trace.Kind, bytes int64, root int32, in []collIn, sc *collScratch, outD []float64, outAttr []Attribution, outPred []int32) float64 {
 	p := len(in)
 	sc.ensure(p)
@@ -252,6 +270,7 @@ func resolveExplicitKernel(smp *sampler, kind trace.Kind, bytes int64, root int3
 	}
 	// adopt folds a cross-member contribution into dst, reclassifying
 	// the source's noise as remote.
+	//mpg:lint-ignore hotpathalloc non-escaping closure, stack-allocated; pinned at 0 allocs by TestResolveExplicitKernelAllocs
 	adopt := func(dst, src int, msg float64) {
 		if v := D[src] + msg; v > D[dst] {
 			D[dst] = v
@@ -259,7 +278,9 @@ func resolveExplicitKernel(smp *sampler, kind trace.Kind, bytes int64, root int3
 			org[dst] = org[src]
 		}
 	}
+	//mpg:lint-ignore hotpathalloc non-escaping closure, stack-allocated; pinned at 0 allocs by TestResolveExplicitKernelAllocs
 	bytesOf := func(round int) int64 { return roundBytes(kind, bytes, round, p) }
+	//mpg:lint-ignore hotpathalloc non-escaping closure, stack-allocated; pinned at 0 allocs by TestResolveExplicitKernelAllocs
 	msgDelta := func(round int) float64 {
 		d := smp.latency()
 		if smp.model.CollectiveBytes {

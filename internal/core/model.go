@@ -267,6 +267,8 @@ func (s *sampler) noiseDist(rank int) dist.Distribution {
 }
 
 // osNoise samples the local-edge delta for one operation edge on rank.
+//
+//mpg:hotpath
 func (s *sampler) osNoise(rank int) float64 {
 	d := s.noiseDist(rank)
 	if d == nil {
@@ -278,6 +280,8 @@ func (s *sampler) osNoise(rank int) float64 {
 
 // computeNoise samples the delta for a compute gap of w cycles; a
 // zero-length gap (back-to-back events) accrues no noise.
+//
+//mpg:hotpath
 func (s *sampler) computeNoise(rank int, w int64) float64 {
 	d := s.noiseDist(rank)
 	if d == nil || w <= 0 {
@@ -307,6 +311,8 @@ func (s *sampler) computeNoise(rank int, w int64) float64 {
 }
 
 // latency samples the message-edge latency delta.
+//
+//mpg:hotpath
 func (s *sampler) latency() float64 {
 	if s.model.MsgLatency == nil {
 		return 0
@@ -316,6 +322,8 @@ func (s *sampler) latency() float64 {
 }
 
 // perByte samples the size-dependent message delta for a payload.
+//
+//mpg:hotpath
 func (s *sampler) perByte(bytes int64) float64 {
 	if s.model.PerByte == nil || bytes <= 0 {
 		return 0

@@ -20,12 +20,15 @@ import (
 // Graph export requires the streaming engine: a non-nil opts.Graph is
 // an error. opts.MaxWindow and opts.Burst have no effect at replay
 // (the schedule was fixed at compile time).
+//
+//mpg:hotpath
 func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 	if opts.Graph != nil {
 		return nil, errors.New("core: ReplayCompiled cannot feed a graph sink; use Analyze for graph export")
 	}
 	defer opts.Metrics.Timer("core_replay_compiled").Start()()
 	if model == nil {
+		//mpg:lint-ignore hotpathalloc nil-model fallback; Monte Carlo callers always pass a model
 		model = &Model{}
 	}
 	st, _ := c.pool.Get().(*replayState)
@@ -42,6 +45,7 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 		st.ensureCrit(c)
 	}
 
+	//mpg:lint-ignore hotpathalloc the returned Result is the replay's one documented allocation group (AllocsPerRun-guarded <= 16)
 	res := &Result{
 		NRanks:          c.nranks,
 		Ranks:           make([]RankResult, c.nranks),
@@ -126,7 +130,8 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 				rr.InjectedLocal += dOS1
 				local, remote, localAttr, remoteAttr := sendCompletionKernel(
 					model.Propagation, sD, sA, dOS1, o.aux, m)
-				if mergeStats(rr, reg, local, remote) == remote && remote > local {
+				mergeStats(rr, reg, local, remote)
+				if remote > local {
 					endD, endAttr = remote, remoteAttr
 					if recordCrit {
 						critEnd = st.msgCrit(c, o.arg)
@@ -140,7 +145,8 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 				rr.InjectedLocal += m.dOS2
 				local, remote, localAttr, remoteAttr := recvCompletionKernel(
 					model.Propagation, sD, sA, o.aux, m)
-				if mergeStats(rr, reg, local, remote) == remote && remote > local {
+				mergeStats(rr, reg, local, remote)
+				if remote > local {
 					endD, endAttr = remote, remoteAttr
 					if recordCrit {
 						if model.Propagation == PropagationAnchored {
@@ -164,7 +170,8 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 				if model.Propagation == PropagationAnchored {
 					remote -= float64(pt.dur)
 				}
-				if mergeStats(rr, reg, local, remote) == remote && remote > local {
+				mergeStats(rr, reg, local, remote)
+				if remote > local {
 					endD, endAttr = remote, st.collOutAttr[pi]
 					if recordCrit {
 						cc := &c.colls[pt.coll]
@@ -186,6 +193,7 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 			}
 			if recordCrit {
 				critEnd.d = endD
+				//mpg:lint-ignore hotpathalloc appends into pooled critBack backing whose cap is the rank's full event count; never grows
 				st.crit[rank] = append(st.crit[rank], critNode{start: st.critStart[rank], end: critEnd})
 			}
 			st.prevD[rank] = endD
@@ -219,6 +227,7 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 		rr.Attr = st.prevAttr[r]
 	}
 	if len(c.warnings) > 0 {
+		//mpg:lint-ignore hotpathalloc warnings escape into the returned Result by design; part of the guarded budget
 		res.Warnings = make([]string, len(c.warnings), len(c.warnings)+1)
 		copy(res.Warnings, c.warnings)
 	}
@@ -227,6 +236,7 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 	// The Result must not reference pooled memory: region stats are
 	// copied out into a fresh backing array.
 	if len(c.regionKeys) > 0 {
+		//mpg:lint-ignore hotpathalloc region stats escape into the returned Result by design; part of the guarded budget
 		stats := make([]RegionStats, len(c.regionKeys))
 		copy(stats, st.regions)
 		for i, k := range c.regionKeys {
@@ -315,6 +325,8 @@ func newReplayState(c *Compiled) *replayState {
 // (message stream forked first, then ranks ascending) and clears the
 // per-replay accumulators. Per-subevent and per-transfer slots need no
 // clearing: the tape writes every slot before reading it.
+//
+//mpg:hotpath
 func (st *replayState) reset(m *Model) {
 	st.smp.model = m
 	st.smp.nNoise, st.smp.nMsg = 0, 0
@@ -347,6 +359,8 @@ func (st *replayState) ensureCrit(c *Compiled) {
 
 // msgCrit is critRemoteMsg for the compiled engine: the winning
 // message-edge predecessor of a transfer completion.
+//
+//mpg:hotpath
 func (st *replayState) msgCrit(c *Compiled, idx int32) critStep {
 	m := &st.msgs[idx]
 	cm := &c.msgs[idx]
@@ -358,6 +372,8 @@ func (st *replayState) msgCrit(c *Compiled, idx int32) critStep {
 
 // resolveColl runs the collective resolution kernel for one compiled
 // collective, mirroring resolveCollective's mode dispatch.
+//
+//mpg:hotpath
 func (st *replayState) resolveColl(c *Compiled, idx int32, model *Model) {
 	cc := &c.colls[idx]
 	p := int(cc.partN)

@@ -1,0 +1,55 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleLintReport() *LintReport {
+	return &LintReport{
+		Packages:  3,
+		Analyzers: []string{"floateq", "nondet"},
+		Diagnostics: []LintDiagnostic{
+			{Analyzer: "floateq", File: "internal/core/x.go", Line: 10, Col: 4, Message: "exact comparison"},
+			{Analyzer: "nondet", File: "internal/core/y.go", Line: 7, Col: 2, Message: "map iteration",
+				Suppressed: true, Reason: "order-insensitive"},
+			{Analyzer: "nondet", File: "internal/core/z.go", Line: 3, Col: 1, Message: "time.Now", Baselined: true},
+		},
+		Outstanding: 1,
+	}
+}
+
+func TestLintReportText(t *testing.T) {
+	var b strings.Builder
+	if err := sampleLintReport().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "internal/core/x.go:10:4: floateq: exact comparison") {
+		t.Errorf("gating finding missing from text output:\n%s", out)
+	}
+	if strings.Contains(out, "map iteration") || strings.Contains(out, "time.Now") {
+		t.Errorf("suppressed/baselined findings must not be listed as gating:\n%s", out)
+	}
+	if !strings.Contains(out, "3 packages, 1 outstanding, 1 suppressed, 1 baselined") {
+		t.Errorf("summary line wrong:\n%s", out)
+	}
+}
+
+func TestLintReportJSONRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := sampleLintReport().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got LintReport
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	if got.Outstanding != 1 || len(got.Diagnostics) != 3 || got.Packages != 3 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if !got.Diagnostics[1].Suppressed || got.Diagnostics[1].Reason == "" {
+		t.Errorf("suppression metadata lost: %+v", got.Diagnostics[1])
+	}
+}

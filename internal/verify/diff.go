@@ -142,6 +142,7 @@ func Differential(sc *Scenario) (*DiffResult, error) {
 	if sc.Class == ClassZero {
 		// Nothing was perturbed: both engines must report exact zeros.
 		for r := range d.GraphDelay {
+			//mpg:lint-ignore floateq zero identity is an exact contract: an unperturbed model must yield bitwise-zero delay
 			if d.GraphDelay[r] != 0 {
 				d.failf("zero identity: rank %d: graph delay %g, want 0", r, d.GraphDelay[r])
 			}
@@ -199,7 +200,13 @@ func replayMem(traces []*trace.MemTrace, p baseline.Params) (*baseline.Result, e
 func computeBudgets(sc *Scenario, traces []*trace.MemTrace) budgets {
 	dLat, dInv, c := sc.graphDeltas()
 	p0, p1 := sc.BaseParams(), sc.PerturbedParams()
+	// dInv is a model *parameter* delta (1/B1 − 1/B0), exactly zero
+	// iff the scenario leaves bandwidth unperturbed — an identity
+	// test on configuration, not a comparison of computed values.
+	//mpg:lint-ignore floateq parameter-identity check: dInv is exactly 0 for bandwidth-unperturbed scenarios
+	bandwidthPerturbed := dInv != 0
 	byteDeltaInt := func(bytes int64) float64 {
+		//mpg:lint-ignore floateq parameter-identity check: both sides are the scenario's configured BytesPerCycle
 		if p1.BytesPerCycle == p0.BytesPerCycle || bytes <= 0 {
 			return 0
 		}
@@ -211,7 +218,7 @@ func computeBudgets(sc *Scenario, traces []*trace.MemTrace) budgets {
 			switch {
 			case rec.Kind == trace.KindMarker:
 			case rec.Kind.IsNonblocking():
-				if rec.Kind == trace.KindIsend && dInv != 0 {
+				if rec.Kind == trace.KindIsend && bandwidthPerturbed {
 					b.Trunc++
 				}
 			case rec.Kind.IsCollective():
@@ -220,7 +227,7 @@ func computeBudgets(sc *Scenario, traces []*trace.MemTrace) budgets {
 				dRounds := baseline.CollectiveRounds(p)
 				b.Noise += c * float64(gRounds)
 				gCharge := float64(gRounds) * dLat
-				if dInv != 0 {
+				if bandwidthPerturbed {
 					for j := 0; j < gRounds; j++ {
 						gCharge += dInv * float64(core.CollectiveRoundBytes(rec.Kind, rec.Bytes, j, p))
 					}
@@ -244,7 +251,7 @@ func computeBudgets(sc *Scenario, traces []*trace.MemTrace) budgets {
 				// Blocking p2p, waits, init, finalize: the graph draws
 				// one per-operation noise sample the DES does not.
 				b.Noise += c
-				if rec.Kind == trace.KindSend && dInv != 0 {
+				if rec.Kind == trace.KindSend && bandwidthPerturbed {
 					b.Trunc++
 				}
 			}

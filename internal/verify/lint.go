@@ -77,6 +77,29 @@ type chanKey struct {
 	tag      int32
 }
 
+// sortedChanKeys returns the map's channel keys in (comm, src, dst,
+// tag) order, decoupling lint output from map iteration order.
+func sortedChanKeys(m map[chanKey][]lintRef) []chanKey {
+	keys := make([]chanKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.comm != b.comm {
+			return a.comm < b.comm
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return a.tag < b.tag
+	})
+	return keys
+}
+
 // lintRef remembers where a posting came from.
 type lintRef struct {
 	rank  int
@@ -191,13 +214,18 @@ func LintTraces(traces []*trace.MemTrace) []Finding {
 	}
 
 	// FIFO point-to-point matching: pair sends and recvs per channel.
-	for key, ss := range sends {
+	// Channels are visited in sorted key order: the final sort below
+	// keys findings by (rank, event) only, so ties between findings
+	// at the same position must not inherit map iteration order.
+	for _, key := range sortedChanKeys(sends) {
+		ss := sends[key]
 		rs := recvs[key]
 		for i := len(rs); i < len(ss); i++ {
 			addf(LintUnmatchedSend, ss[i].rank, ss[i].event, "send to rank %d tag %d comm %d has no matching receive", key.dst, key.tag, key.comm)
 		}
 	}
-	for key, rs := range recvs {
+	for _, key := range sortedChanKeys(recvs) {
+		rs := recvs[key]
 		ss := sends[key]
 		for i := len(ss); i < len(rs); i++ {
 			addf(LintUnmatchedRecv, rs[i].rank, rs[i].event, "receive from rank %d tag %d comm %d has no matching send", key.src, key.tag, key.comm)
@@ -461,6 +489,7 @@ func (g *GraphCollector) AddEdge(from, to core.NodeRef, kind core.EdgeKind, weig
 func LintGraph(g *GraphCollector) []Finding {
 	var out []Finding
 	nodes := map[core.NodeRef]int{}
+	//mpg:lint-ignore nondet map-to-map seeding is order-insensitive
 	for ref := range g.Nodes {
 		nodes[ref] = 0
 	}
@@ -490,6 +519,7 @@ func LintGraph(g *GraphCollector) []Finding {
 		succ[e.From] = append(succ[e.From], e.To)
 	}
 	queue := make([]core.NodeRef, 0, len(indeg))
+	//mpg:lint-ignore nondet Kahn's peel set is independent of seeding order; cycle members are sorted before output
 	for ref, d := range indeg {
 		if d == 0 {
 			queue = append(queue, ref)

@@ -31,10 +31,12 @@ func ZeroIdentity(traces []*trace.MemTrace) error {
 		return fmt.Errorf("zero-identity: %w", err)
 	}
 	for r := range res.Ranks {
+		//mpg:lint-ignore floateq zero identity is an exact contract: the empty model must yield bitwise-zero delay
 		if d := res.Ranks[r].FinalDelay; d != 0 {
 			return fmt.Errorf("zero-identity: rank %d has delay %g under the empty model", r, d)
 		}
 	}
+	//mpg:lint-ignore floateq zero identity is an exact contract: the empty model must yield bitwise-zero makespan delay
 	if res.MakespanDelay != 0 {
 		return fmt.Errorf("zero-identity: makespan delay %g under the empty model", res.MakespanDelay)
 	}
@@ -131,6 +133,7 @@ func Telescoping(traces []*trace.MemTrace, f *scenario.File) error {
 	for i, st := range cp.Steps {
 		sumDelta += st.Delta
 		if i == 0 {
+			//mpg:lint-ignore floateq the critical path's source step carries an exact zero delta by construction
 			if st.Delta != 0 {
 				return fmt.Errorf("telescoping: source step has nonzero delta %g", st.Delta)
 			}

@@ -293,6 +293,7 @@ func (sc *Scenario) PerturbedParams() baseline.Params {
 // unperturbed).
 func (sc *Scenario) deltaPerByte() float64 {
 	p0, p1 := sc.BaseParams(), sc.PerturbedParams()
+	//mpg:lint-ignore floateq parameter-identity check: both sides are the scenario's configured BytesPerCycle
 	if p1.BytesPerCycle == p0.BytesPerCycle {
 		return 0
 	}
