@@ -45,6 +45,7 @@ func run(args []string) error {
 	bwBytes := fs.Int64("bandwidth-bytes", 1<<20, "bandwidth probe message size")
 	bwSamples := fs.Int("bandwidth-samples", 50, "bandwidth probe sample count")
 	replay := fs.Bool("replay", false, "benchmark the replay engines instead of probing the platform")
+	replayBatch := fs.Bool("replay-batch", false, "with -replay (implied): also sweep the lane-batched replay engine over K=1,4,16,64, gated on batch-vs-single equivalence")
 	replayWorkload := fs.String("replay-workload", "stencil1d", "workload for the replay benchmark")
 	replayRanks := fs.Int("replay-ranks", 64, "world size for the replay benchmark")
 	replayIters := fs.Int("replay-iters", 10, "workload iterations for the replay benchmark")
@@ -55,7 +56,7 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *replay {
+	if *replay || *replayBatch {
 		path := *out
 		if path == "" {
 			path = "BENCH_replay.json"
@@ -69,6 +70,7 @@ func run(args []string) error {
 			workers:   *replayWorkers,
 			seed:      *replaySeed,
 			out:       path,
+			batch:     *replayBatch,
 		})
 	}
 	if *out == "" {

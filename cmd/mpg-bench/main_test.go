@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -36,5 +38,44 @@ func TestBenchRequiresOut(t *testing.T) {
 func TestBenchRejectsBadMachine(t *testing.T) {
 	if err := run([]string{"-machine-latency", "x", "-out", "sig.json"}); err == nil {
 		t.Fatal("bad machine spec accepted")
+	}
+}
+
+// TestBenchReplayBatchReport drives the -replay-batch mode over a tiny
+// trace and checks the report carries the lane trajectory, an effective
+// (never zero) worker count, and passes its in-band equivalence gates.
+func TestBenchReplayBatchReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "replay.json")
+	err := run([]string{"-replay-batch",
+		"-replay-workload", "stencil1d", "-replay-ranks", "6",
+		"-replay-iters", "2", "-replay-collevery", "2",
+		"-replay-trials", "9", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep replayReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers <= 0 {
+		t.Fatalf("report records workers = %d; want the effective pool size", rep.Workers)
+	}
+	if len(rep.Batched) != len(batchLaneWidths) {
+		t.Fatalf("batched trajectory has %d points, want %d", len(rep.Batched), len(batchLaneWidths))
+	}
+	for i, bp := range rep.Batched {
+		if bp.Lanes != batchLaneWidths[i] {
+			t.Errorf("point %d lanes = %d, want %d", i, bp.Lanes, batchLaneWidths[i])
+		}
+		if bp.ReplaysPerSec <= 0 || bp.NsPerReplay <= 0 {
+			t.Errorf("lanes=%d has empty stats: %+v", bp.Lanes, bp)
+		}
+	}
+	if rep.BestBatchSpeedup <= 0 {
+		t.Fatalf("best batch speedup = %g", rep.BestBatchSpeedup)
 	}
 }

@@ -27,7 +27,14 @@ type replayConfig struct {
 	workers   int
 	seed      uint64
 	out       string
+	// batch adds the lane-width trajectory: the same trials replayed
+	// through core.ReplayBatch at each width in batchLaneWidths, gated
+	// in-band on batch-vs-single equivalence.
+	batch bool
 }
+
+// batchLaneWidths is the lane trajectory -replay-batch sweeps.
+var batchLaneWidths = []int{1, 4, 16, 64}
 
 // pathStats is one engine path's measured replay throughput.
 type pathStats struct {
@@ -36,16 +43,28 @@ type pathStats struct {
 	AllocsPerReplay float64 `json:"allocs_per_replay"`
 }
 
+// batchPoint is one lane width of the batched-replay trajectory.
+type batchPoint struct {
+	Lanes int `json:"lanes"`
+	pathStats
+	// SpeedupVsCompiled is single-lane compiled ns/replay over this
+	// width's ns/replay.
+	SpeedupVsCompiled float64 `json:"speedup_vs_compiled"`
+}
+
 // replayReport is the BENCH_replay.json schema: the benchmark's
 // configuration, the one-time compile cost, and per-path throughput
 // for the streaming analyzer (serial and parallel) against the
-// compiled replay engine.
+// compiled replay engine, plus (with -replay-batch) the lane-batched
+// replay trajectory.
 type replayReport struct {
-	Workload          string    `json:"workload"`
-	Ranks             int       `json:"ranks"`
-	Iterations        int       `json:"iterations"`
-	CollEvery         int       `json:"coll_every"`
-	Trials            int       `json:"trials"`
+	Workload   string `json:"workload"`
+	Ranks      int    `json:"ranks"`
+	Iterations int    `json:"iterations"`
+	CollEvery  int    `json:"coll_every"`
+	Trials     int    `json:"trials"`
+	// Workers is the effective parallel-path pool size (GOMAXPROCS
+	// when the flag was left at 0), never the raw flag value.
 	Workers           int       `json:"workers"`
 	Events            int64     `json:"events"`
 	CompileNs         int64     `json:"compile_ns"`
@@ -54,6 +73,11 @@ type replayReport struct {
 	Compiled          pathStats `json:"compiled"`
 	// Speedup is streaming-serial ns/replay over compiled ns/replay.
 	Speedup float64 `json:"speedup_vs_streaming_serial"`
+	// Batched is the -replay-batch lane trajectory in width order.
+	Batched []batchPoint `json:"batched,omitempty"`
+	// BestBatchSpeedup is the largest Batched speedup vs single-lane
+	// compiled replay.
+	BestBatchSpeedup float64 `json:"best_batch_speedup_vs_compiled,omitempty"`
 }
 
 // replayModel builds the per-trial perturbation model. The model mixes
@@ -176,19 +200,33 @@ func runReplay(cfg replayConfig) error {
 		return err
 	}
 
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	rep := replayReport{
 		Workload:          cfg.workload,
 		Ranks:             cfg.ranks,
 		Iterations:        cfg.iters,
 		CollEvery:         cfg.collEvery,
 		Trials:            cfg.trials,
-		Workers:           cfg.workers,
+		Workers:           workers,
 		Events:            snap.Events(),
 		CompileNs:         compileNs,
 		StreamingSerial:   serial,
 		StreamingParallel: par,
 		Compiled:          comp,
 		Speedup:           serial.NsPerReplay / comp.NsPerReplay,
+	}
+	if cfg.batch {
+		if rep.Batched, err = runBatchTrajectory(compiled, cfg, comp); err != nil {
+			return err
+		}
+		for _, bp := range rep.Batched {
+			if bp.SpeedupVsCompiled > rep.BestBatchSpeedup {
+				rep.BestBatchSpeedup = bp.SpeedupVsCompiled
+			}
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -203,10 +241,85 @@ func runReplay(cfg replayConfig) error {
 	fmt.Printf("streaming serial:   %.3f ms/replay (%.0f allocs)\n",
 		serial.NsPerReplay/1e6, serial.AllocsPerReplay)
 	fmt.Printf("streaming parallel: %.3f ms/replay (workers=%d)\n",
-		par.NsPerReplay/1e6, cfg.workers)
+		par.NsPerReplay/1e6, workers)
 	fmt.Printf("compiled replay:    %.3f ms/replay (%.0f allocs)\n",
 		comp.NsPerReplay/1e6, comp.AllocsPerReplay)
 	fmt.Printf("speedup (compiled vs streaming serial): %.2fx\n", rep.Speedup)
+	for _, bp := range rep.Batched {
+		fmt.Printf("batched lanes=%-3d   %.3f ms/replay (%.0f allocs, %.2fx vs compiled)\n",
+			bp.Lanes, bp.NsPerReplay/1e6, bp.AllocsPerReplay, bp.SpeedupVsCompiled)
+	}
+	if rep.BestBatchSpeedup > 0 {
+		fmt.Printf("best batched speedup vs compiled: %.2fx\n", rep.BestBatchSpeedup)
+	}
 	fmt.Printf("report written to %s\n", cfg.out)
 	return nil
+}
+
+// runBatchTrajectory measures the lane-batched replay engine at every
+// width in batchLaneWidths. Before any timing, each width passes an
+// in-band equivalence gate: a batch of the first K trial models —
+// heterogeneous propagation modes included — must reproduce its K
+// standalone compiled replays deeply equal, critical paths and all.
+// Trials then replay in chunks of K, so each width pays the same total
+// replay count as the single-lane compiled path it is compared to.
+func runBatchTrajectory(compiled *core.Compiled, cfg replayConfig, comp pathStats) ([]batchPoint, error) {
+	points := make([]batchPoint, 0, len(batchLaneWidths))
+	for _, lanes := range batchLaneWidths {
+		gateK := lanes
+		if gateK > cfg.trials {
+			gateK = cfg.trials
+		}
+		gate := make([]*core.Model, gateK)
+		for k := range gate {
+			gate[k] = replayModel(cfg.seed, k)
+			if k%2 == 1 {
+				gate[k].Propagation = core.PropagationAnchored
+			}
+		}
+		gopts := core.Options{RecordCritPath: true}
+		batch, err := core.ReplayBatch(compiled, gate, core.BatchOptions{Options: gopts})
+		if err != nil {
+			return nil, err
+		}
+		for k, m := range gate {
+			want, err := core.ReplayCompiled(compiled, m, gopts)
+			if err != nil {
+				return nil, err
+			}
+			if !reflect.DeepEqual(want, batch[k]) {
+				return nil, fmt.Errorf("lanes=%d: batch lane %d diverged from single compiled replay (makespan %g vs %g)",
+					lanes, k, batch[k].MakespanDelay, want.MakespanDelay)
+			}
+		}
+
+		models := make([]*core.Model, lanes)
+		stats, err := measureOnce(cfg.trials, func() error {
+			for lo := 0; lo < cfg.trials; lo += lanes {
+				n := lanes
+				if cfg.trials-lo < n {
+					n = cfg.trials - lo
+				}
+				for k := 0; k < n; k++ {
+					models[k] = replayModel(cfg.seed, lo+k)
+				}
+				if _, err := core.ReplayBatch(compiled, models[:n], core.BatchOptions{}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		stats.NsPerReplay /= float64(cfg.trials)
+		stats.ReplaysPerSec = 1e9 / stats.NsPerReplay
+		stats.AllocsPerReplay /= float64(cfg.trials)
+		points = append(points, batchPoint{
+			Lanes:             lanes,
+			pathStats:         stats,
+			SpeedupVsCompiled: comp.NsPerReplay / stats.NsPerReplay,
+		})
+	}
+	return points, nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"io"
 	"testing"
 )
@@ -36,6 +37,33 @@ func TestSweepTrials(t *testing.T) {
 		"-trials", "4", "-workers", "2"}, io.Discard, io.Discard)
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSweepTrialsReplayLanesIdentical pins the -replay-lanes contract
+// at the CLI surface: any lane width (and the streaming escape hatch)
+// emits byte-identical CSV for the same Monte Carlo sweep.
+func TestSweepTrialsReplayLanesIdentical(t *testing.T) {
+	base := []string{"-workload", "stencil1d", "-ranks", "4", "-iters", "2",
+		"-sweep", "noise", "-from", "0", "-to", "100", "-step", "50",
+		"-trials", "5", "-workers", "2", "-csv"}
+	outFor := func(extra ...string) string {
+		var buf bytes.Buffer
+		if err := run(append(append([]string{}, base...), extra...), &buf, io.Discard); err != nil {
+			t.Fatalf("%v: %v", extra, err)
+		}
+		return buf.String()
+	}
+	want := outFor("-replay-lanes", "1")
+	for _, extra := range [][]string{
+		{},
+		{"-replay-lanes", "3"},
+		{"-replay-lanes", "64"},
+		{"-streaming-trials"},
+	} {
+		if got := outFor(extra...); got != want {
+			t.Errorf("%v output diverges from -replay-lanes 1:\n--- want\n%s--- got\n%s", extra, want, got)
+		}
 	}
 }
 

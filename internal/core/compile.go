@@ -128,7 +128,8 @@ type Compiled struct {
 	nLocalEdges, nMsgEdges, nCollEdges int64
 	nMatches, nColls                   int64
 
-	pool sync.Pool // of *replayState
+	pool      sync.Pool // of *replayState
+	batchPool sync.Pool // of *batchState (lane-strided ReplayBatch memory)
 }
 
 // NRanks returns the world size of the compiled trace.

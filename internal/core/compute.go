@@ -175,12 +175,21 @@ type collIn struct {
 // inbound delay plus l_δ (ceil(log2 p) samples of noise+latency for
 // the symmetric collectives; a single sample for the rooted ones, the
 // paper's Reduce simplification) feeds a max that is propagated back
-// to all participants. outPred[i] is the index (into in) of the
+// to all participants. outPred[i*stride] is the index (into in) of the
 // participant whose start subevent anchors the winning path. The
 // returned value is the propagated max.
 //
+// stride spaces the output writes: participant i lands at index
+// i*stride of each out array. The streaming engine and the single
+// replayer pass 1 (dense outputs); the batched replayer passes its
+// lane count K, interleaving the K lanes of one participant so each
+// lane writes its own column of the shared lane-strided buffers.
+// stride only relocates writes — the FP operation sequence is
+// identical for every stride, which is what keeps batch lanes
+// byte-identical to standalone replays.
+//
 //mpg:hotpath
-func resolveApproxKernel(smp *sampler, kind trace.Kind, bytes int64, in []collIn, outD []float64, outAttr []Attribution, outPred []int32) float64 {
+func resolveApproxKernel(smp *sampler, kind trace.Kind, bytes int64, in []collIn, outD []float64, outAttr []Attribution, outPred []int32, stride int) float64 {
 	p := len(in)
 	rounds := ceilLog2(p)
 	if kind.IsRooted() {
@@ -206,12 +215,12 @@ func resolveApproxKernel(smp *sampler, kind trace.Kind, bytes int64, in []collIn
 	}
 	winAttr := in[winIdx].startAttr.addOwn(winnerNoise).addMsg(winnerMsg)
 	for i := range in {
-		outD[i] = lMax
-		outPred[i] = int32(winIdx)
+		outD[i*stride] = lMax
+		outPred[i*stride] = int32(winIdx)
 		if i == winIdx {
-			outAttr[i] = winAttr
+			outAttr[i*stride] = winAttr
 		} else {
-			outAttr[i] = winAttr.asRemote()
+			outAttr[i*stride] = winAttr.asRemote()
 		}
 	}
 	return lMax
@@ -243,13 +252,15 @@ func (s *collScratch) ensure(p int) {
 // resolveExplicitKernel builds the collective's actual communication
 // pattern in delay space: dissemination rounds for the symmetric
 // collectives, binomial trees for Bcast/Reduce, linear exchanges for
-// Gather/Scatter, the prefix chain for Scan. outPred[i] is the index
-// (into in) of the participant whose start subevent anchors member
-// i's winning adopt chain. The returned value is the largest outbound
-// delay (for graph labels).
+// Gather/Scatter, the prefix chain for Scan. outPred[i*stride] is the
+// index (into in) of the participant whose start subevent anchors
+// member i's winning adopt chain. The returned value is the largest
+// outbound delay (for graph labels). stride spaces the output writes
+// exactly as in resolveApproxKernel: 1 for dense outputs, the lane
+// count K for the batched replayer's lane-strided buffers.
 //
 //mpg:hotpath
-func resolveExplicitKernel(smp *sampler, kind trace.Kind, bytes int64, root int32, in []collIn, sc *collScratch, outD []float64, outAttr []Attribution, outPred []int32) float64 {
+func resolveExplicitKernel(smp *sampler, kind trace.Kind, bytes int64, root int32, in []collIn, sc *collScratch, outD []float64, outAttr []Attribution, outPred []int32, stride int) float64 {
 	p := len(in)
 	sc.ensure(p)
 	D := sc.d[:p]
@@ -359,14 +370,42 @@ func resolveExplicitKernel(smp *sampler, kind trace.Kind, bytes int64, root int3
 	}
 	lMax := 0.0
 	for i := range in {
-		outD[i] = D[i]
-		outAttr[i] = A[i]
-		outPred[i] = int32(org[i])
+		outD[i*stride] = D[i]
+		outAttr[i*stride] = A[i]
+		outPred[i*stride] = int32(org[i])
 		if D[i] > lMax {
 			lMax = D[i]
 		}
 	}
 	return lMax
+}
+
+// matchLanesKernel is the batched form of the opMatch step: for each
+// lane k it loads lane k's posted subevents, draws the four transfer
+// deltas from lane k's own sampler in exactly the single-replay order
+// (λ1, per-byte, λ2, receiver-side noise — see ReplayCompiled's
+// opMatch case), and resolves the transfer completion. ms holds the K
+// lanes of one compiled transfer; sendD/sendAttr and recvD/recvAttr
+// are the K-lane spans of the two posting subevents in the batch
+// state's lane-strided start arrays. Because every lane draws only
+// from its own sampler hierarchy, interleaving lanes here preserves
+// each lane's draw sequence exactly.
+//
+//mpg:hotpath
+func matchLanesKernel(smps []sampler, ms []xfer, sendD []float64, sendAttr []Attribution, recvD []float64, recvAttr []Attribution, bytes int64, recvRank int) {
+	for k := range ms {
+		m := &ms[k]
+		m.sendStartD = sendD[k]
+		m.sendAttr = sendAttr[k]
+		m.recvPostD = recvD[k]
+		m.recvAttr = recvAttr[k]
+		smp := &smps[k]
+		m.dLat1 = smp.latency()
+		m.dPerByte = smp.perByte(bytes)
+		m.dLat2 = smp.latency()
+		m.dOS2 = smp.osNoise(recvRank)
+		m.resolveCompletion()
+	}
 }
 
 // orderViolationWarning is the §4.3 clamp warning, shared by both

@@ -47,11 +47,11 @@ func TestResolveExplicitKernelAllocs(t *testing.T) {
 		trace.KindScan, trace.KindCommSplit,
 	}
 	// Warm the scratch arrays once.
-	resolveExplicitKernel(smp, trace.KindAllreduce, 1024, 0, in, sc, outD, outAttr, outPred)
+	resolveExplicitKernel(smp, trace.KindAllreduce, 1024, 0, in, sc, outD, outAttr, outPred, 1)
 	for _, kind := range kinds {
 		kind := kind
 		allocs := testing.AllocsPerRun(20, func() {
-			resolveExplicitKernel(smp, kind, 1024, 0, in, sc, outD, outAttr, outPred)
+			resolveExplicitKernel(smp, kind, 1024, 0, in, sc, outD, outAttr, outPred, 1)
 		})
 		if allocs != 0 {
 			t.Errorf("resolveExplicitKernel(%v) allocates %.1f objects/call; want 0", kind, allocs)
@@ -72,7 +72,7 @@ func TestResolveApproxKernelAllocs(t *testing.T) {
 	for _, kind := range []trace.Kind{trace.KindAllreduce, trace.KindReduce} {
 		kind := kind
 		allocs := testing.AllocsPerRun(20, func() {
-			resolveApproxKernel(smp, kind, 2048, in, outD, outAttr, outPred)
+			resolveApproxKernel(smp, kind, 2048, in, outD, outAttr, outPred, 1)
 		})
 		if allocs != 0 {
 			t.Errorf("resolveApproxKernel(%v) allocates %.1f objects/call; want 0", kind, allocs)
@@ -105,6 +105,130 @@ func TestCompletionKernelAllocs(t *testing.T) {
 		if allocs != 0 {
 			t.Errorf("completion kernels (%v) allocate %.1f objects/iteration; want 0", mode, allocs)
 		}
+	}
+}
+
+// TestStridedKernelAllocs re-runs the collective kernels with the
+// batch replayer's lane stride: a stride-K write pattern must stay as
+// allocation-free as the dense stride-1 one.
+func TestStridedKernelAllocs(t *testing.T) {
+	const p, stride = 8, 4
+	smp := kernelSampler(p)
+	in := make([]collIn, p)
+	for i := range in {
+		in[i] = collIn{rank: i, startD: float64(i * 10), startAttr: Attribution{OwnNoise: float64(i)}}
+	}
+	sc := &collScratch{}
+	outD := make([]float64, p*stride)
+	outAttr := make([]Attribution, p*stride)
+	outPred := make([]int32, p*stride)
+	resolveExplicitKernel(smp, trace.KindAllreduce, 1024, 0, in, sc, outD, outAttr, outPred, stride)
+	for _, kind := range []trace.Kind{trace.KindAllreduce, trace.KindBcast, trace.KindScan} {
+		kind := kind
+		allocs := testing.AllocsPerRun(20, func() {
+			resolveApproxKernel(smp, kind, 2048, in, outD, outAttr, outPred, stride)
+			resolveExplicitKernel(smp, kind, 1024, 0, in, sc, outD, outAttr, outPred, stride)
+		})
+		if allocs != 0 {
+			t.Errorf("stride-%d collective kernels (%v) allocate %.1f objects/call; want 0", stride, kind, allocs)
+		}
+	}
+}
+
+// TestMatchLanesKernelAllocs pins the batched opMatch fan-out at
+// zero: K lanes of posts, draws, and completion resolution must touch
+// only the preallocated lane-strided buffers.
+func TestMatchLanesKernelAllocs(t *testing.T) {
+	const K = 8
+	smps := make([]sampler, K)
+	rng := make([]dist.RNG, K*3)
+	for k := 0; k < K; k++ {
+		smps[k].model = &Model{
+			Seed:       uint64(100 + k),
+			OSNoise:    dist.Exponential{MeanValue: 40},
+			MsgLatency: dist.Exponential{MeanValue: 150},
+			PerByte:    dist.Constant{C: 0.02},
+		}
+		smps[k].msgRNG = &rng[k*3]
+		smps[k].rankRNG = make([]*dist.RNG, 2)
+		for r := 0; r < 2; r++ {
+			smps[k].rankRNG[r] = &rng[k*3+1+r]
+		}
+		dist.ForkHierarchyInto(uint64(100+k), replayForkLabels(2), rng[k*3:(k+1)*3])
+	}
+	ms := make([]xfer, K)
+	sendD := make([]float64, K)
+	sendA := make([]Attribution, K)
+	recvD := make([]float64, K)
+	recvA := make([]Attribution, K)
+	for k := range sendD {
+		sendD[k] = float64(k * 7)
+		recvD[k] = float64(k * 11)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		matchLanesKernel(smps, ms, sendD, sendA, recvD, recvA, 4096, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("matchLanesKernel allocates %.1f objects/call; want 0", allocs)
+	}
+}
+
+// TestBatchStateResetAllocs pins the pooled batch state's re-seed
+// path at zero: K sampler hierarchies re-seed in place via
+// ForkHierarchyInto, no generator is constructed.
+func TestBatchStateResetAllocs(t *testing.T) {
+	snap := snapWorkload(t, "tokenring", 8, workloads.Options{Iterations: 2})
+	set, release := snap.Acquire()
+	c, err := Compile(set, Options{})
+	release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const K = 8
+	models := make([]*Model, K)
+	for k := range models {
+		models[k] = &Model{Seed: uint64(50 + k), OSNoise: dist.Exponential{MeanValue: 30}}
+	}
+	st := newBatchState(c, K)
+	st.reset(models)
+	allocs := testing.AllocsPerRun(50, func() { st.reset(models) })
+	if allocs != 0 {
+		t.Errorf("batchState.reset allocates %.1f objects/call; want 0", allocs)
+	}
+}
+
+// TestReplayBatchAllocs pins the warm batched replay at the same
+// per-lane budget as ReplayCompiled: the only allocations are the K
+// returned Results (and their rank/region backing), never per-event
+// or per-lane-per-event work.
+func TestReplayBatchAllocs(t *testing.T) {
+	snap := snapWorkload(t, "tokenring", 8, workloads.Options{Iterations: 8})
+	set, release := snap.Acquire()
+	c, err := Compile(set, Options{})
+	release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const K = 8
+	models := make([]*Model, K)
+	for k := range models {
+		models[k] = &Model{
+			Seed:       uint64(5 + k),
+			OSNoise:    dist.Exponential{MeanValue: 50},
+			MsgLatency: dist.Exponential{MeanValue: 200},
+		}
+	}
+	// Warm the batch pool.
+	if _, err := ReplayBatch(c, models, BatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := ReplayBatch(c, models, BatchOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 16*K {
+		t.Fatalf("warm ReplayBatch(K=%d) allocates %.1f objects/batch; want <= %d", K, allocs, 16*K)
 	}
 }
 

@@ -265,9 +265,13 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 // Compiled program. Everything here is either reset or fully
 // overwritten each replay; nothing escapes into the returned Result.
 type replayState struct {
-	smp        sampler
-	rngBacking []dist.RNG // one generator per rank + the message stream
-	rankLabels []string   // precomputed "rank-%d" fork labels
+	smp sampler
+	// rngBacking holds the sampler's generator hierarchy in fork order:
+	// the message stream first, then one generator per rank ascending —
+	// the order newSampler forks them, so ForkHierarchyInto over
+	// forkLabels reproduces its streams exactly.
+	rngBacking []dist.RNG
+	forkLabels []string // "messages", then precomputed "rank-%d" labels
 
 	// Flat per-subevent delay state, indexed by evBase[rank]+event.
 	startD    []float64
@@ -299,7 +303,7 @@ func newReplayState(c *Compiled) *replayState {
 	total := c.evBase[n]
 	st := &replayState{
 		rngBacking:  make([]dist.RNG, n+1),
-		rankLabels:  make([]string, n),
+		forkLabels:  replayForkLabels(n),
 		startD:      make([]float64, total),
 		startAttr:   make([]Attribution, total),
 		prevD:       make([]float64, n),
@@ -312,13 +316,26 @@ func newReplayState(c *Compiled) *replayState {
 		regions:     make([]RegionStats, len(c.regionKeys)),
 		critStart:   make([]critStep, n),
 	}
+	st.smp.msgRNG = &st.rngBacking[0]
 	st.smp.rankRNG = make([]*dist.RNG, n)
 	for r := 0; r < n; r++ {
-		st.smp.rankRNG[r] = &st.rngBacking[r]
-		st.rankLabels[r] = fmt.Sprintf("rank-%d", r)
+		st.smp.rankRNG[r] = &st.rngBacking[r+1]
 	}
-	st.smp.msgRNG = &st.rngBacking[n]
 	return st
+}
+
+// replayForkLabels precomputes the sampler hierarchy's fork labels in
+// fork order: the shared message stream, then the per-rank streams
+// ascending. Both the single and the batched replay states seed their
+// generators by running dist.ForkHierarchyInto over this slice, which
+// is what pins their streams to newSampler's.
+func replayForkLabels(n int) []string {
+	labels := make([]string, n+1)
+	labels[0] = "messages"
+	for r := 0; r < n; r++ {
+		labels[r+1] = fmt.Sprintf("rank-%d", r)
+	}
+	return labels
 }
 
 // reset re-seeds the sampler hierarchy exactly as newSampler would
@@ -330,12 +347,7 @@ func newReplayState(c *Compiled) *replayState {
 func (st *replayState) reset(m *Model) {
 	st.smp.model = m
 	st.smp.nNoise, st.smp.nMsg = 0, 0
-	var root dist.RNG
-	root.Reseed(m.Seed)
-	root.ForkNamedInto("messages", st.smp.msgRNG)
-	for r := range st.rankLabels {
-		root.ForkNamedInto(st.rankLabels[r], st.smp.rankRNG[r])
-	}
+	dist.ForkHierarchyInto(m.Seed, st.forkLabels, st.rngBacking)
 	for r := range st.prevD {
 		st.prevD[r] = 0
 		st.prevAttr[r] = Attribution{}
@@ -389,14 +401,14 @@ func (st *replayState) resolveColl(c *Compiled, idx int32, model *Model) {
 	if cc.kind == trace.KindScan {
 		// Scan always uses the explicit prefix chain (see
 		// resolveCollective).
-		resolveExplicitKernel(&st.smp, cc.kind, cc.bytes, cc.root, in, &st.csc, outD, outAttr, outPred)
+		resolveExplicitKernel(&st.smp, cc.kind, cc.bytes, cc.root, in, &st.csc, outD, outAttr, outPred, 1)
 		return
 	}
 	switch model.Collectives {
 	case CollectiveApprox:
-		resolveApproxKernel(&st.smp, cc.kind, cc.bytes, in, outD, outAttr, outPred)
+		resolveApproxKernel(&st.smp, cc.kind, cc.bytes, in, outD, outAttr, outPred, 1)
 	case CollectiveExplicit:
-		resolveExplicitKernel(&st.smp, cc.kind, cc.bytes, cc.root, in, &st.csc, outD, outAttr, outPred)
+		resolveExplicitKernel(&st.smp, cc.kind, cc.bytes, cc.root, in, &st.csc, outD, outAttr, outPred, 1)
 	default:
 		// Unknown mode: the streaming engine resolves nothing; clear the
 		// reused buffers so stale values from a prior replay can't leak.

@@ -1,0 +1,562 @@
+package core
+
+import (
+	"errors"
+
+	"mpgraph/internal/dist"
+	"mpgraph/internal/trace"
+)
+
+// Batched replay: one walk of the compiled op tape propagates K
+// perturbation models at once.
+//
+// The schedule is sample-invariant (§4.1), so every lane visits the
+// same ops in the same order; only the sampled values differ. The
+// batch state therefore holds each per-subevent quantity as a flat
+// lane-strided array — slot gi of the single replayer becomes the
+// K-wide span [gi*K, gi*K+K) — and each tape op is decoded once, its
+// delay/attribution update fanned across the K contiguous lanes.
+// Equivalence with ReplayCompiled is structural, not approximate:
+// every lane owns a full sampler hierarchy seeded exactly as a
+// standalone replay would seed it (dist.ForkHierarchyInto over the
+// same labels in the same order), and the fan-out loops execute the
+// identical FP operation sequence per lane, so lane k's Result is
+// byte-identical to ReplayCompiled(c, models[k], opts). The
+// batch-vs-single equivalence suite (replay_batch_test.go), the
+// verify campaign's CompiledBatchEquivalence check, and the in-band
+// mpg-bench -replay-batch gate all pin this.
+
+// DefaultReplayLanes is the lane width ReplayBatch callers use when
+// the user does not override it (-replay-lanes). Chosen from the
+// mpg-bench -replay-batch sweep over K ∈ {1,4,16,64} on the
+// BENCH_replay.json workload: K=16 is the measured knee — tape decode
+// and op dispatch amortize across lanes while each event's K-lane span
+// still fits a couple of cache lines, whereas K=64 regresses as the
+// lane-strided arrays outgrow cache. The headline win is bounded by
+// sampling cost, which is per-lane by the byte-identity contract
+// (every lane draws exactly what its standalone replay would), so on
+// sampling-heavy models the batch mainly buys one pooled state and one
+// tape walk per K trials rather than a large per-replay speedup; see
+// BENCH_replay.json's "batched" trajectory for the recorded numbers.
+const DefaultReplayLanes = 16
+
+// PickReplayLanes resolves a lane-width setting against the number of
+// pending replays: non-positive lanes means auto (DefaultReplayLanes),
+// and the width never exceeds the work available. The result is at
+// least 1.
+func PickReplayLanes(lanes, pending int) int {
+	if lanes <= 0 {
+		lanes = DefaultReplayLanes
+	}
+	if pending < 1 {
+		return 1
+	}
+	if lanes > pending {
+		return pending
+	}
+	return lanes
+}
+
+// BatchOptions tunes a batched replay. The embedded Options apply to
+// every lane; Options.Trajectory must be nil (it carries no lane
+// identity — use LaneTrajectory) and Options.Graph must be nil (as in
+// ReplayCompiled).
+type BatchOptions struct {
+	Options
+
+	// LaneTrajectory, when non-nil, receives every lane's trajectory
+	// points: it is invoked exactly as Options.Trajectory would be for
+	// a standalone replay of that lane's model, with the lane index
+	// prepended. Points arrive grouped by op — all K lanes of one
+	// event end before the next event — so per-lane consumers must key
+	// on the lane index, not on arrival order.
+	LaneTrajectory func(lane int, p TrajectoryPoint)
+}
+
+// ReplayBatch propagates K perturbation models over a compiled graph
+// program in one tape walk, returning one Result per model. Result k
+// is byte-identical to ReplayCompiled(c, models[k], opts.Options):
+// same delays, same attribution, same regions, same critical path,
+// same warnings. A nil model entry behaves like a nil model passed to
+// ReplayCompiled (the zero model).
+//
+// A single-model batch delegates to the pooled single-replay path.
+// Concurrent batches over one Compiled program are safe; each borrows
+// its own pooled lane state (pooled per lane width — mixing widths
+// under one program works but repools on every width change).
+func ReplayBatch(c *Compiled, models []*Model, opts BatchOptions) ([]*Result, error) {
+	if opts.Graph != nil {
+		return nil, errors.New("core: ReplayBatch cannot feed a graph sink; use Analyze for graph export")
+	}
+	if opts.Trajectory != nil {
+		return nil, errors.New("core: ReplayBatch needs lane identity on trajectory points; set BatchOptions.LaneTrajectory, not Options.Trajectory")
+	}
+	if len(models) == 0 {
+		return nil, errors.New("core: ReplayBatch requires at least one model")
+	}
+	if len(models) == 1 {
+		single := opts.Options
+		if lt := opts.LaneTrajectory; lt != nil {
+			single.Trajectory = func(p TrajectoryPoint) { lt(0, p) }
+		}
+		res, err := ReplayCompiled(c, models[0], single)
+		if err != nil {
+			return nil, err
+		}
+		return []*Result{res}, nil
+	}
+	defer opts.Metrics.Timer("core_replay_batch").Start()()
+	K := len(models)
+	for i, m := range models {
+		if m == nil {
+			cp := make([]*Model, K)
+			copy(cp, models)
+			for j := i; j < K; j++ {
+				if cp[j] == nil {
+					cp[j] = &Model{}
+				}
+			}
+			models = cp
+			break
+		}
+	}
+
+	st, _ := c.batchPool.Get().(*batchState)
+	if st == nil || st.K != K {
+		st = newBatchState(c, K)
+		opts.Metrics.Counter("core_replay_batch_pool_misses_total").Inc()
+	} else {
+		opts.Metrics.Counter("core_replay_batch_pool_hits_total").Inc()
+	}
+	defer c.batchPool.Put(st)
+	st.reset(models)
+	recordCrit := opts.RecordCritPath
+	if recordCrit {
+		st.ensureCrit(c)
+	}
+
+	res := make([]*Result, K)
+	for k := range res {
+		res[k] = &Result{
+			NRanks:          c.nranks,
+			Ranks:           make([]RankResult, c.nranks),
+			Regions:         make(map[RegionKey]*RegionStats, len(c.regionKeys)),
+			WindowHighWater: c.highWater,
+		}
+	}
+
+	st.walk(c, res, recordCrit, opts.LaneTrajectory)
+
+	// Finalize each lane exactly as ReplayCompiled finalizes its one
+	// result; nothing here may reference pooled memory.
+	for k := 0; k < K; k++ {
+		r := res[k]
+		for rank := 0; rank < c.nranks; rank++ {
+			rr := &r.Ranks[rank]
+			rr.OrigEnd = c.origEnd[rank]
+			rr.FinalDelay = st.prevD[rank*K+k]
+			rr.Attr = st.prevAttr[rank*K+k]
+		}
+		if len(c.warnings) > 0 {
+			r.Warnings = make([]string, len(c.warnings), len(c.warnings)+1)
+			copy(r.Warnings, c.warnings)
+		}
+		orderViolationWarning(r)
+		r.finalize()
+		if len(c.regionKeys) > 0 {
+			stats := make([]RegionStats, len(c.regionKeys))
+			for ri := range stats {
+				stats[ri] = st.regions[ri*K+k]
+			}
+			for ri, key := range c.regionKeys {
+				r.Regions[key] = &stats[ri]
+			}
+		}
+		if recordCrit {
+			r.CritPath = buildCritPath(r, st.crit[k*c.nranks:(k+1)*c.nranks])
+		}
+	}
+
+	if m := opts.Metrics; m != nil {
+		m.Counter("core_replay_batches_total").Inc()
+		m.Gauge("core_replay_batch_lanes").SetMax(float64(K))
+		var events, nNoise, nMsg int64
+		for k := range res {
+			events += res[k].Events
+		}
+		for k := range st.smps {
+			nNoise += st.smps[k].nNoise
+			nMsg += st.smps[k].nMsg
+		}
+		m.Counter("core_replays_total").Add(int64(K))
+		m.Counter("core_events_total").Add(events)
+		m.Counter("core_edges_local_total").Add(c.nLocalEdges * int64(K))
+		m.Counter("core_edges_message_total").Add(c.nMsgEdges * int64(K))
+		m.Counter("core_edges_collective_total").Add(c.nCollEdges * int64(K))
+		m.Counter("core_matches_total").Add(c.nMatches * int64(K))
+		m.Counter("core_collectives_total").Add(c.nColls * int64(K))
+		m.Counter("core_samples_noise_total").Add(nNoise)
+		m.Counter("core_samples_message_total").Add(nMsg)
+		m.Gauge("core_window_high_water").SetMax(float64(c.highWater))
+	}
+	return res, nil
+}
+
+// batchState is the reusable K-lane working memory, pooled on the
+// Compiled program. Layout is structure-of-arrays with the lane index
+// innermost: the single replayer's slot i becomes the contiguous span
+// [i*K, i*K+K), so one op's K-lane fan-out walks a cache line, not K
+// distant arrays. Everything here is reset or fully overwritten each
+// batch; nothing escapes into the returned Results.
+type batchState struct {
+	K int
+
+	// One full sampler hierarchy per lane. rng packs the generators in
+	// fork order per lane (messages, then ranks ascending — the same
+	// forkLabels order replayState uses); each sampler's pointers
+	// address its own lane's window of rng.
+	smps       []sampler
+	rng        []dist.RNG
+	forkLabels []string
+
+	// Lane-strided per-subevent delay state: subevent gi of lane k
+	// lives at gi*K+k (gi = evBase[rank]+event, as in replayState).
+	startD    []float64
+	startAttr []Attribution
+	prevD     []float64     // rank*K+k
+	prevAttr  []Attribution // rank*K+k
+
+	msgs []xfer // transfer mi of lane k at mi*K+k
+
+	// Collective kernel buffers. collIn is per-op scratch shared
+	// across lanes (lanes resolve sequentially within an op); the out
+	// arrays are lane-strided by global participant index, written
+	// in-place by the stride-K kernels.
+	collIn      []collIn
+	collOutD    []float64
+	collOutAttr []Attribution
+	collOutPred []int32
+	csc         collScratch
+
+	regions []RegionStats // region ri of lane k at ri*K+k
+
+	// Critical-path recording (lazy; only when RecordCritPath). crit
+	// and critBack are lane-major — lane k's rank r at crit[k*nranks+r]
+	// — so buildCritPath consumes one lane's window unchanged.
+	critStart []critStep // rank*K+k
+	crit      [][]critNode
+	critBack  []critNode
+}
+
+func newBatchState(c *Compiled, K int) *batchState {
+	n := c.nranks
+	total := int(c.evBase[n])
+	st := &batchState{
+		K:           K,
+		smps:        make([]sampler, K),
+		rng:         make([]dist.RNG, K*(n+1)),
+		forkLabels:  replayForkLabels(n),
+		startD:      make([]float64, K*total),
+		startAttr:   make([]Attribution, K*total),
+		prevD:       make([]float64, K*n),
+		prevAttr:    make([]Attribution, K*n),
+		msgs:        make([]xfer, K*len(c.msgs)),
+		collIn:      make([]collIn, c.maxParts),
+		collOutD:    make([]float64, K*len(c.parts)),
+		collOutAttr: make([]Attribution, K*len(c.parts)),
+		collOutPred: make([]int32, K*len(c.parts)),
+		regions:     make([]RegionStats, K*len(c.regionKeys)),
+		critStart:   make([]critStep, K*n),
+	}
+	for k := 0; k < K; k++ {
+		base := k * (n + 1)
+		st.smps[k].msgRNG = &st.rng[base]
+		st.smps[k].rankRNG = make([]*dist.RNG, n)
+		for r := 0; r < n; r++ {
+			st.smps[k].rankRNG[r] = &st.rng[base+1+r]
+		}
+	}
+	return st
+}
+
+// reset re-seeds every lane's sampler hierarchy exactly as a
+// standalone replay of that lane's model would (ForkHierarchyInto
+// over the shared label order) and clears the per-batch accumulators.
+// Per-subevent and per-transfer slots need no clearing: the tape
+// writes every slot before reading it, lane by lane.
+//
+//mpg:hotpath
+func (st *batchState) reset(models []*Model) {
+	stride := len(st.forkLabels)
+	for k := range st.smps {
+		smp := &st.smps[k]
+		smp.model = models[k]
+		smp.nNoise, smp.nMsg = 0, 0
+		dist.ForkHierarchyInto(models[k].Seed, st.forkLabels, st.rng[k*stride:(k+1)*stride])
+	}
+	for i := range st.prevD {
+		st.prevD[i] = 0
+		st.prevAttr[i] = Attribution{}
+	}
+	for i := range st.regions {
+		st.regions[i] = RegionStats{}
+	}
+}
+
+// ensureCrit prepares the per-lane per-rank argmax recording slices
+// over a single pooled backing array (lane-major, each rank window
+// three-index sliced so appends can never cross into a neighbor).
+func (st *batchState) ensureCrit(c *Compiled) {
+	total := int(c.evBase[c.nranks])
+	if st.critBack == nil {
+		st.critBack = make([]critNode, st.K*total)
+		st.crit = make([][]critNode, st.K*c.nranks)
+	}
+	for k := 0; k < st.K; k++ {
+		lb := k * total
+		for r := 0; r < c.nranks; r++ {
+			lo, hi := lb+int(c.evBase[r]), lb+int(c.evBase[r+1])
+			st.crit[k*c.nranks+r] = st.critBack[lo:lo:hi]
+		}
+	}
+}
+
+// walk is the batched tape loop: each op is decoded once and its
+// update fanned across the K lanes. Per lane it mirrors
+// ReplayCompiled's op dispatch statement for statement — same kernel
+// calls, same comparison order, same clamp rules — which is what makes
+// every lane byte-identical to a standalone replay.
+//
+//mpg:hotpath
+func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(int, TrajectoryPoint)) {
+	K := st.K
+	k64 := int64(K)
+	for i := range c.ops {
+		o := &c.ops[i]
+		switch o.code {
+		case opBegin:
+			rank := int(o.rank)
+			base := (c.evBase[rank] + o.event) * k64
+			pb := rank * K
+			for k := 0; k < K; k++ {
+				smp := &st.smps[k]
+				delta := smp.computeNoise(rank, o.aux)
+				sD := st.prevD[pb+k] + delta
+				sA := st.prevAttr[pb+k].addOwn(delta)
+				res[k].Ranks[rank].InjectedLocal += delta
+				if smp.model.AllowNegative && o.started {
+					// Order preservation (§4.3), as in beginRecord.
+					if floor := st.prevD[pb+k] - float64(o.aux); sD < floor {
+						sD = floor
+						res[k].OrderViolations++
+					}
+				}
+				st.startD[base+int64(k)] = sD
+				st.startAttr[base+int64(k)] = sA
+				if recordCrit {
+					cs := critStep{d: sD, kind: EdgeLocal}
+					if o.started {
+						cs.pred = NodeRef{Rank: rank, Event: o.event - 1, End: true}
+						cs.predD = st.prevD[pb+k]
+						cs.hasPred = true
+					}
+					st.critStart[pb+k] = cs
+				}
+			}
+
+		case opMatch:
+			cm := &c.msgs[o.arg]
+			sgi := (c.evBase[cm.sendRank] + cm.sendEvent) * k64
+			rgi := (c.evBase[cm.recvRank] + cm.recvEvent) * k64
+			mi := int64(o.arg) * k64
+			matchLanesKernel(st.smps, st.msgs[mi:mi+k64],
+				st.startD[sgi:sgi+k64], st.startAttr[sgi:sgi+k64],
+				st.startD[rgi:rgi+k64], st.startAttr[rgi:rgi+k64],
+				cm.bytes, int(cm.recvRank))
+
+		case opCollResolve:
+			st.resolveCollLanes(c, o.arg)
+
+		default: // end ops
+			rank := int(o.rank)
+			base := (c.evBase[rank] + o.event) * k64
+			pb := rank * K
+			rb := int(o.region) * K
+			for k := 0; k < K; k++ {
+				smp := &st.smps[k]
+				model := smp.model
+				sD := st.startD[base+int64(k)]
+				sA := st.startAttr[base+int64(k)]
+				rr := &res[k].Ranks[rank]
+				reg := &st.regions[rb+k]
+				var endD float64
+				var endAttr Attribution
+				var critEnd critStep
+				if recordCrit {
+					// Default argmax: the event's own start subevent.
+					critEnd = critStep{pred: NodeRef{Rank: rank, Event: o.event}, predD: sD, kind: EdgeLocal, hasPred: true}
+				}
+				switch o.code {
+				case opEndMarker, opEndImmediate:
+					endD, endAttr = sD, sA
+
+				case opEndLocal:
+					delta := smp.osNoise(rank)
+					rr.InjectedLocal += delta
+					endD, endAttr = combineLocalKernel(model.Propagation, sD, sA, delta, o.aux)
+
+				case opEndSend:
+					m := &st.msgs[int64(o.arg)*k64+int64(k)]
+					dOS1 := smp.osNoise(rank)
+					rr.InjectedLocal += dOS1
+					local, remote, localAttr, remoteAttr := sendCompletionKernel(
+						model.Propagation, sD, sA, dOS1, o.aux, m)
+					mergeStats(rr, reg, local, remote)
+					if remote > local {
+						endD, endAttr = remote, remoteAttr
+						if recordCrit {
+							critEnd = st.msgCritLane(c, o.arg, k)
+						}
+					} else {
+						endD, endAttr = local, localAttr
+					}
+
+				case opEndRecv:
+					m := &st.msgs[int64(o.arg)*k64+int64(k)]
+					rr.InjectedLocal += m.dOS2
+					local, remote, localAttr, remoteAttr := recvCompletionKernel(
+						model.Propagation, sD, sA, o.aux, m)
+					mergeStats(rr, reg, local, remote)
+					if remote > local {
+						endD, endAttr = remote, remoteAttr
+						if recordCrit {
+							if model.Propagation == PropagationAnchored {
+								// Anchored receive: the remote path is always the
+								// data arrival, never the receiver's own post.
+								cm := &c.msgs[o.arg]
+								critEnd = critStep{pred: NodeRef{Rank: int(cm.sendRank), Event: cm.sendEvent}, predD: m.sendStartD, kind: EdgeMessage, hasPred: true}
+							} else {
+								critEnd = st.msgCritLane(c, o.arg, k)
+							}
+						}
+					} else {
+						endD, endAttr = local, localAttr
+					}
+
+				case opEndColl:
+					pt := &c.parts[o.arg]
+					pi := int(o.arg)*K + k
+					local := sD
+					remote := st.collOutD[pi]
+					if model.Propagation == PropagationAnchored {
+						remote -= float64(pt.dur)
+					}
+					mergeStats(rr, reg, local, remote)
+					if remote > local {
+						endD, endAttr = remote, st.collOutAttr[pi]
+						if recordCrit {
+							cc := &c.colls[pt.coll]
+							wp := &c.parts[cc.partOff+st.collOutPred[pi]]
+							wgi := (c.evBase[wp.rank]+wp.event)*k64 + int64(k)
+							critEnd = critStep{pred: NodeRef{Rank: int(wp.rank), Event: wp.event}, predD: st.startD[wgi], kind: EdgeCollective, hasPred: true}
+						}
+					} else {
+						endD, endAttr = local, sA
+					}
+				}
+
+				// Commit, mirroring finishRecord.
+				if model.AllowNegative {
+					if floor := sD - float64(o.aux); endD < floor {
+						endD = floor
+						res[k].OrderViolations++
+					}
+				}
+				if recordCrit {
+					critEnd.d = endD
+					//mpg:lint-ignore hotpathalloc appends into pooled critBack backing whose cap is the lane's full per-rank event count; never grows
+					st.crit[k*c.nranks+rank] = append(st.crit[k*c.nranks+rank], critNode{start: st.critStart[pb+k], end: critEnd})
+				}
+				st.prevD[pb+k] = endD
+				st.prevAttr[pb+k] = endAttr
+				rr.Events++
+				res[k].Events++
+				res[k].DelayStats.Add(endD)
+				if lt != nil {
+					lt(k, TrajectoryPoint{
+						Rank:    rank,
+						Event:   o.event,
+						Kind:    o.kind,
+						OrigEnd: o.origEnd,
+						Delay:   endD,
+						Region:  c.regionKeys[o.region].Region,
+					})
+				}
+				if !reg.firstSeen {
+					reg.firstSeen = true
+					reg.firstDelay = endD
+				}
+				reg.Events++
+				reg.DelayGrowth = endD - reg.firstDelay
+			}
+		}
+	}
+}
+
+// msgCritLane is msgCrit for one batch lane: the winning message-edge
+// predecessor of lane k's view of a transfer completion.
+//
+//mpg:hotpath
+func (st *batchState) msgCritLane(c *Compiled, idx int32, k int) critStep {
+	m := &st.msgs[int(idx)*st.K+k]
+	cm := &c.msgs[idx]
+	if m.cRecvFromData {
+		return critStep{pred: NodeRef{Rank: int(cm.sendRank), Event: cm.sendEvent}, predD: m.sendStartD, kind: EdgeMessage, hasPred: true}
+	}
+	return critStep{pred: NodeRef{Rank: int(cm.recvRank), Event: cm.recvEvent}, predD: m.recvPostD, kind: EdgeMessage, hasPred: true}
+}
+
+// resolveCollLanes runs the collective resolution kernel once per
+// lane, mirroring resolveColl's mode dispatch with the lane's own
+// model and sampler. The in buffer is rebuilt per lane from the
+// lane-strided start arrays; outputs land lane-strided via the
+// kernels' stride parameter.
+//
+//mpg:hotpath
+func (st *batchState) resolveCollLanes(c *Compiled, idx int32) {
+	K := st.K
+	k64 := int64(K)
+	cc := &c.colls[idx]
+	p := int(cc.partN)
+	in := st.collIn[:p]
+	for k := 0; k < K; k++ {
+		for j := 0; j < p; j++ {
+			pt := &c.parts[int(cc.partOff)+j]
+			gi := (c.evBase[pt.rank]+pt.event)*k64 + int64(k)
+			in[j] = collIn{rank: int(pt.rank), startD: st.startD[gi], startAttr: st.startAttr[gi]}
+		}
+		off := int(cc.partOff)*K + k
+		outD := st.collOutD[off:]
+		outAttr := st.collOutAttr[off:]
+		outPred := st.collOutPred[off:]
+		smp := &st.smps[k]
+		if cc.kind == trace.KindScan {
+			// Scan always uses the explicit prefix chain (see
+			// resolveCollective).
+			resolveExplicitKernel(smp, cc.kind, cc.bytes, cc.root, in, &st.csc, outD, outAttr, outPred, K)
+			continue
+		}
+		switch smp.model.Collectives {
+		case CollectiveApprox:
+			resolveApproxKernel(smp, cc.kind, cc.bytes, in, outD, outAttr, outPred, K)
+		case CollectiveExplicit:
+			resolveExplicitKernel(smp, cc.kind, cc.bytes, cc.root, in, &st.csc, outD, outAttr, outPred, K)
+		default:
+			// Unknown mode: the streaming engine resolves nothing; clear
+			// this lane's reused slots so stale values can't leak.
+			for j := 0; j < p; j++ {
+				outD[j*K], outAttr[j*K], outPred[j*K] = 0, Attribution{}, 0
+			}
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mpgraph/internal/dist"
+	"mpgraph/internal/trace"
+	"mpgraph/internal/workloads"
+)
+
+// The ReplayBatch contract is byte-identity, not statistical
+// agreement: lane k of a batch must DeepEqual a standalone
+// ReplayCompiled of lane k's model — delays, attribution, region
+// stats, warnings, critical path, and the trajectory stream. These
+// tests pin that across the equivalence workloads, the full
+// model/mode grid (including heterogeneous mode mixes *within* one
+// batch), lane permutations, and concurrent batches.
+
+// batchLaneModels builds K lane models by cycling the equivalence
+// grid with per-lane distinct seeds, so one batch mixes propagation
+// modes, collective modes, quantized noise, and negative
+// perturbations across its lanes. offset rotates the grid so small
+// batches over multiple calls still cover every combo.
+func batchLaneModels(K, offset int, grid []*Model) []*Model {
+	lanes := make([]*Model, K)
+	for k := 0; k < K; k++ {
+		m := grid[(k+offset)%len(grid)].Clone()
+		m.Seed = m.Seed*31 + uint64(k)*1000003 + 17
+		lanes[k] = m
+	}
+	return lanes
+}
+
+// batchEquivSnaps are the four equivalence workloads from
+// TestReplayCompiledMatchesAnalyze.
+func batchEquivSnaps(t *testing.T) map[string]*trace.Snapshot {
+	t.Helper()
+	return map[string]*trace.Snapshot{
+		"tokenring": snapWorkload(t, "tokenring", 8, workloads.Options{Iterations: 4}),
+		"stencil1d": snapWorkload(t, "stencil1d", 8, workloads.Options{Iterations: 6, CollEvery: 2}),
+		"bsp":       snapWorkload(t, "bsp", 6, workloads.Options{Iterations: 3}),
+		"collzoo":   snapProgram(t, 6, collZoo),
+	}
+}
+
+// assertBatchMatchesSingles replays each lane's model standalone and
+// demands byte-identity with the batch's lane result and trajectory.
+func assertBatchMatchesSingles(t *testing.T, c *Compiled, lanes []*Model, got []*Result, gotTraj [][]TrajectoryPoint) {
+	t.Helper()
+	if len(got) != len(lanes) {
+		t.Fatalf("batch returned %d results for %d models", len(got), len(lanes))
+	}
+	for k, m := range lanes {
+		var trajS []TrajectoryPoint
+		want, err := ReplayCompiled(c, m, Options{
+			RecordCritPath: true,
+			Trajectory:     func(p TrajectoryPoint) { trajS = append(trajS, p) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got[k]) {
+			t.Fatalf("lane %d (%s) diverged from standalone replay:\n%s",
+				k, modelLabel(m), diffResults(want, got[k]))
+		}
+		if !reflect.DeepEqual(trajS, gotTraj[k]) {
+			t.Fatalf("lane %d (%s) trajectory diverged (%d vs %d points)",
+				k, modelLabel(m), len(trajS), len(gotTraj[k]))
+		}
+	}
+}
+
+// TestReplayBatchMatchesSingle is the tentpole pin: over every
+// equivalence workload and lane widths spanning the fallback (K=1),
+// tiny, odd, power-of-two, and wide (K=64, which cycles the whole
+// 16-combo model grid four times over), every batch lane must be
+// byte-identical to a standalone seeded ReplayCompiled. Each width
+// runs twice so the pooled batch-state reuse path is exercised too.
+func TestReplayBatchMatchesSingle(t *testing.T) {
+	grid := equivalenceModels()
+	for name, snap := range batchEquivSnaps(t) {
+		t.Run(name, func(t *testing.T) {
+			set, release := snap.Acquire()
+			c, err := Compile(set, Options{})
+			release()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ki, K := range []int{1, 2, 7, 8, 64} {
+				t.Run(fmt.Sprintf("K=%d", K), func(t *testing.T) {
+					lanes := batchLaneModels(K, ki*3, grid)
+					for round := 0; round < 2; round++ {
+						gotTraj := make([][]TrajectoryPoint, K)
+						got, err := ReplayBatch(c, lanes, BatchOptions{
+							Options:        Options{RecordCritPath: true},
+							LaneTrajectory: func(k int, p TrajectoryPoint) { gotTraj[k] = append(gotTraj[k], p) },
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						assertBatchMatchesSingles(t, c, lanes, got, gotTraj)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestReplayBatchLanePermutation is the property test behind the lane
+// independence claim: shuffling which lane carries which model never
+// changes any model's result. Each round draws a fresh permutation of
+// an 8-lane batch and demands res[i] == baseRes[perm[i]] lane for
+// lane.
+func TestReplayBatchLanePermutation(t *testing.T) {
+	snap := snapWorkload(t, "stencil1d", 8, workloads.Options{Iterations: 4, CollEvery: 2})
+	set, release := snap.Acquire()
+	c, err := Compile(set, Options{})
+	release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const K = 8
+	lanes := batchLaneModels(K, 5, equivalenceModels())
+	base, err := ReplayBatch(c, lanes, BatchOptions{Options: Options{RecordCritPath: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRNG(97)
+	perm := make([]int, K)
+	shuffled := make([]*Model, K)
+	for round := 0; round < 10; round++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(K, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for i, p := range perm {
+			shuffled[i] = lanes[p]
+		}
+		got, err := ReplayBatch(c, shuffled, BatchOptions{Options: Options{RecordCritPath: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range perm {
+			if !reflect.DeepEqual(base[p], got[i]) {
+				t.Fatalf("round %d: lane %d carrying model %d (%s) diverged from the same model at lane %d:\n%s",
+					round, i, p, modelLabel(lanes[p]), p, diffResults(base[p], got[i]))
+			}
+		}
+	}
+}
+
+// TestReplayBatchConcurrent batches one compiled program from many
+// goroutines; every batch must be identical lane for lane (the
+// determinism claim behind batched parallel Monte Carlo). Run with
+// -race alongside TestReplayCompiledConcurrent.
+func TestReplayBatchConcurrent(t *testing.T) {
+	snap := snapWorkload(t, "stencil1d", 8, workloads.Options{Iterations: 4, CollEvery: 2})
+	set, release := snap.Acquire()
+	c, err := Compile(set, Options{})
+	release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := batchLaneModels(7, 1, equivalenceModels())
+	want, err := ReplayBatch(c, lanes, BatchOptions{Options: Options{RecordCritPath: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				got, err := ReplayBatch(c, lanes, BatchOptions{Options: Options{RecordCritPath: true}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				for k := range want {
+					if !reflect.DeepEqual(want[k], got[k]) {
+						errs <- fmt.Errorf("concurrent batch lane %d diverged:\n%s", k, diffResults(want[k], got[k]))
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayBatchRejections: the batch replayer refuses inputs it
+// cannot honor rather than silently degrading — graph sinks need the
+// streaming engine, lane-less trajectory callbacks would scramble
+// lanes, and an empty batch has no meaning.
+func TestReplayBatchRejections(t *testing.T) {
+	snap := snapWorkload(t, "tokenring", 4, workloads.Options{Iterations: 2})
+	set, release := snap.Acquire()
+	c, err := Compile(set, Options{})
+	release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []*Model{{Seed: 1}, {Seed: 2}}
+	if _, err := ReplayBatch(c, models, BatchOptions{Options: Options{Graph: discardSink{}}}); err == nil {
+		t.Error("expected an error for a graph sink on the batch replayer")
+	}
+	if _, err := ReplayBatch(c, models, BatchOptions{Options: Options{Trajectory: func(TrajectoryPoint) {}}}); err == nil {
+		t.Error("expected an error for Options.Trajectory (LaneTrajectory carries the lane)")
+	}
+	if _, err := ReplayBatch(c, nil, BatchOptions{}); err == nil {
+		t.Error("expected an error for an empty model batch")
+	}
+}
+
+// TestReplayBatchNilModels: nil lane models behave exactly like a nil
+// model passed to ReplayCompiled (the zero model), at K=1 (the
+// delegating fallback) and inside a wide batch.
+func TestReplayBatchNilModels(t *testing.T) {
+	snap := snapWorkload(t, "tokenring", 4, workloads.Options{Iterations: 2})
+	set, release := snap.Acquire()
+	c, err := Compile(set, Options{})
+	release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReplayCompiled(c, nil, Options{RecordCritPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, models := range [][]*Model{
+		{nil},
+		{nil, {Seed: 9, OSNoise: dist.Exponential{MeanValue: 25}}, nil},
+	} {
+		got, err := ReplayBatch(c, models, BatchOptions{Options: Options{RecordCritPath: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, m := range models {
+			if m != nil {
+				continue
+			}
+			if !reflect.DeepEqual(want, got[k]) {
+				t.Fatalf("K=%d: nil-model lane %d diverged from nil-model ReplayCompiled:\n%s",
+					len(models), k, diffResults(want, got[k]))
+			}
+		}
+	}
+}
+
+// TestPickReplayLanes pins the auto-width rules the CLI flags rely
+// on: non-positive requests auto-pick, the width never exceeds the
+// pending work, and the result is always at least 1.
+func TestPickReplayLanes(t *testing.T) {
+	cases := []struct{ lanes, pending, want int }{
+		{0, 1000, DefaultReplayLanes},
+		{-3, 1000, DefaultReplayLanes},
+		{0, 5, 5},
+		{4, 1000, 4},
+		{64, 10, 10},
+		{8, 0, 1},
+		{0, 0, 1},
+	}
+	for _, tc := range cases {
+		if got := PickReplayLanes(tc.lanes, tc.pending); got != tc.want {
+			t.Errorf("PickReplayLanes(%d, %d) = %d; want %d", tc.lanes, tc.pending, got, tc.want)
+		}
+	}
+}

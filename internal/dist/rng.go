@@ -129,6 +129,26 @@ func (r *RNG) ForkNamedInto(label string, dst *RNG) {
 	dst.Reseed(r.Uint64() ^ fnv64(label))
 }
 
+// ForkHierarchyInto re-seeds a whole named-fork hierarchy in place:
+// a root generator is seeded from seed, then dst[i] receives the
+// named fork for labels[i], in slice order. The result is exactly
+// what NewRNG(seed) followed by ForkNamed(labels[0]), ForkNamed(
+// labels[1]), ... would produce — fork order matters, because every
+// fork advances the root stream — but without allocating. It exists
+// for pooled replay state that re-seeds a fixed generator hierarchy
+// (one per rank plus shared streams) once per replay, and for the
+// batched replayer, which re-seeds one such hierarchy per lane.
+// It panics if len(dst) < len(labels).
+//
+//mpg:hotpath
+func ForkHierarchyInto(seed uint64, labels []string, dst []RNG) {
+	var root RNG
+	root.Reseed(seed)
+	for i := range labels {
+		root.ForkNamedInto(labels[i], &dst[i])
+	}
+}
+
 // fnv64 is the FNV-1a hash of the label, the stable component of the
 // named-fork seed derivation.
 func fnv64(label string) uint64 {

@@ -333,8 +333,10 @@ func runSec61(cfg Config) (*Outcome, error) {
 	for c := 0.0; c <= 700; c += 100 {
 		xs = append(xs, c)
 	}
-	// Every grid task analyzes the same deterministic trace under a
-	// different model: trace and compile once, replay per point.
+	// The whole grid analyzes the same deterministic trace under
+	// different models: trace and compile once, then propagate every
+	// point as one lane of a single batched tape walk (each lane is
+	// byte-identical to a standalone per-point replay).
 	set, err := traceWorkload("tokenring", ranks, workloads.Options{Iterations: traversals}, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -343,11 +345,15 @@ func runSec61(cfg Config) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := parallel.Map(len(xs), cfg.pool(), func(i int) (*core.Result, error) {
-		return core.ReplayCompiled(prog, &core.Model{MsgLatency: dist.Constant{C: xs[i]}}, core.Options{})
+	models := make([]*core.Model, len(xs))
+	for i := range xs {
+		models[i] = &core.Model{MsgLatency: dist.Constant{C: xs[i]}}
+	}
+	results, err := core.ReplayBatch(prog, models, core.BatchOptions{
+		Options: core.Options{Metrics: cfg.Metrics},
 	})
 	if err != nil {
-		return nil, unwrapTask(err)
+		return nil, err
 	}
 	var ys []float64
 	for i, res := range results {
@@ -496,7 +502,9 @@ func runAblD(cfg Config) (*Outcome, error) {
 	deltas := []float64{10, 100, 1000, 10000}
 	modes := []core.PropagationMode{core.PropagationAdditive, core.PropagationAnchored}
 	// One deterministic trace serves the whole (delta × mode) grid:
-	// compile once, replay per cell.
+	// compile once, then propagate every cell as one lane of a single
+	// batched tape walk (the batch engine supports heterogeneous lane
+	// models, so the additive and anchored cells share the walk).
 	set, err := traceWorkload("tokenring", n, workloads.Options{Iterations: iters}, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -505,19 +513,22 @@ func runAblD(cfg Config) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	delays, err := parallel.Map(len(deltas)*len(modes), cfg.pool(), func(t int) (float64, error) {
-		c, mode := deltas[t/len(modes)], modes[t%len(modes)]
-		res, err := core.ReplayCompiled(prog, &core.Model{
-			MsgLatency:  dist.Constant{C: c},
-			Propagation: mode,
-		}, core.Options{})
-		if err != nil {
-			return 0, err
+	grid := make([]*core.Model, len(deltas)*len(modes))
+	for t := range grid {
+		grid[t] = &core.Model{
+			MsgLatency:  dist.Constant{C: deltas[t/len(modes)]},
+			Propagation: modes[t%len(modes)],
 		}
-		return res.MaxFinalDelay, nil
+	}
+	results, err := core.ReplayBatch(prog, grid, core.BatchOptions{
+		Options: core.Options{Metrics: cfg.Metrics},
 	})
 	if err != nil {
-		return nil, unwrapTask(err)
+		return nil, err
+	}
+	delays := make([]float64, len(grid))
+	for t, res := range results {
+		delays[t] = res.MaxFinalDelay
 	}
 	pass := true
 	for i, c := range deltas {

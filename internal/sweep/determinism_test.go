@@ -127,6 +127,54 @@ func TestSweepTrialsDeterminismAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestSweepTrialsDeterminismAcrossLanes proves lane batching is pure
+// packing: for every lane width — auto, forced single-replay, odd,
+// wider than the trial count — and for the streaming engine, the
+// Monte Carlo sweep fingerprints bit-identically. Trial seeds derive
+// from the flattened (point × trial) index alone, so how trials are
+// grouped into tape walks can never show through.
+func TestSweepTrialsDeterminismAcrossLanes(t *testing.T) {
+	base := Config{
+		Workload:        "stencil1d",
+		WorkloadOptions: workloads.Options{Iterations: 3, CollEvery: 2},
+		Machine:         machine.Config{NRanks: 4, Seed: 13},
+		Param:           ParamRanks,
+		From:            2, To: 4, Step: 2,
+		NoiseMean: 180,
+		ModelSeed: 13,
+		Trials:    5,
+		Workers:   4,
+	}
+	ref := base
+	ref.ReplayLanes = 1
+	want, err := Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP := sweepFingerprint(want)
+	for _, lanes := range []int{0, 2, 3, 5, 64} {
+		cfg := base
+		cfg.ReplayLanes = lanes
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("lanes=%d: %v", lanes, err)
+		}
+		if fp := sweepFingerprint(got); fp != wantFP {
+			t.Fatalf("lanes=%d diverges from single-replay trials:\n--- lanes=1\n%s\n--- lanes=%d\n%s",
+				lanes, wantFP, lanes, fp)
+		}
+	}
+	cfg := base
+	cfg.StreamingTrials = true
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := sweepFingerprint(got); fp != wantFP {
+		t.Fatalf("streaming trials diverge from batched trials:\n--- batched\n%s\n--- streaming\n%s", wantFP, fp)
+	}
+}
+
 // TestSweepTrialsAggregates sanity-checks the Monte Carlo statistics:
 // a sampled noise model must show trial-to-trial spread with coherent
 // min ≤ mean ≤ p95 ≤ max ordering, and trial 0 must be the reported

@@ -118,6 +118,16 @@ type Config struct {
 	// analyzer instead of the compiled replayer — an escape hatch for
 	// debugging and for A/B-verifying the two engines.
 	StreamingTrials bool
+	// ReplayLanes sets the lane width of batched compiled trials: each
+	// worker task walks a point's compiled tape once while propagating
+	// up to ReplayLanes trial models simultaneously (core.ReplayBatch).
+	// Zero auto-picks core.DefaultReplayLanes; 1 forces the pooled
+	// single-replay path. Lane packing never changes any result — every
+	// lane is byte-identical to a standalone replay with the same
+	// derived trial seed — it only changes how trials map onto worker
+	// tasks. Streaming trials (and trials with a Trajectory sink, whose
+	// per-replay point streams must stay un-interleaved) ignore it.
+	ReplayLanes int
 	// Metrics, when non-nil, receives sweep observability: tracing
 	// phase timers, point/trial counters, the pool metrics (it is
 	// passed into the worker pool), and — unless Analyze.Metrics is
@@ -335,6 +345,15 @@ func (cfg Config) runTrials(vals []float64, popts parallel.Options) ([]Point, er
 	cfg.Metrics.Counter("sweep_trials_total").Add(int64(len(vals) * trials))
 	if !streaming {
 		cfg.Metrics.Counter("sweep_compiled_points_total").Add(int64(len(vals)))
+		lanes := core.PickReplayLanes(cfg.ReplayLanes, trials)
+		if cfg.Analyze.Trajectory != nil {
+			// A trajectory sink observes one replay's points in order;
+			// lane batching would interleave trials within a task.
+			lanes = 1
+		}
+		if lanes > 1 {
+			return cfg.runBatchedTrials(vals, progs, popts, lanes)
+		}
 	}
 	tick := cfg.progressTick(len(vals) * trials)
 	results, err := parallel.Map(len(vals)*trials, popts, func(t int) (*core.Result, error) {
@@ -374,6 +393,68 @@ func (cfg Config) runTrials(vals []float64, popts parallel.Options) ([]Point, er
 	if err != nil {
 		return nil, unwrapTask(err)
 	}
+	return aggregateTrialPoints(vals, results, trials), nil
+}
+
+// runBatchedTrials is the lane-batched compiled path: each worker task
+// owns one chunk of up to `lanes` consecutive trials of one point and
+// propagates them in a single tape walk (core.ReplayBatch). Trial
+// seeds are derived from the same flattened (point × trial) task index
+// the unbatched path uses — parallel.TaskSeed(ModelSeed, p*trials+k) —
+// so every lane width, including 1, produces byte-identical sweeps.
+func (cfg Config) runBatchedTrials(vals []float64, progs []pointProg, popts parallel.Options, lanes int) ([]Point, error) {
+	trials := cfg.Trials
+	chunks := (trials + lanes - 1) / lanes
+	cfg.Metrics.Counter("sweep_replay_batches_total").Add(int64(len(vals) * chunks))
+	cfg.Metrics.Gauge("sweep_replay_lanes").SetMax(float64(lanes))
+	tick := cfg.progressTick(len(vals) * trials)
+	batches, err := parallel.Map(len(vals)*chunks, popts, func(b int) ([]*core.Result, error) {
+		p := b / chunks
+		lo := (b % chunks) * lanes
+		n := lanes
+		if lo+n > trials {
+			n = trials - lo
+		}
+		v := vals[p]
+		model, mcfg, err := cfg.pointModel(v)
+		if err != nil {
+			return nil, err
+		}
+		models := make([]*core.Model, n)
+		for k := 0; k < n; k++ {
+			trial := model.Clone()
+			trial.Seed = parallel.TaskSeed(cfg.ModelSeed, p*trials+lo+k)
+			models[k] = trial
+		}
+		prog, err := progs[p].get(cfg, v, mcfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.ReplayBatch(prog, models, core.BatchOptions{Options: cfg.Analyze})
+		if err != nil {
+			return nil, fmt.Errorf("sweep: value %g trials %d..%d: %w", v, lo, lo+n-1, err)
+		}
+		for range res {
+			tick()
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, unwrapTask(err)
+	}
+	results := make([]*core.Result, len(vals)*trials)
+	for b, rs := range batches {
+		p := b / chunks
+		lo := (b % chunks) * lanes
+		copy(results[p*trials+lo:], rs)
+	}
+	return aggregateTrialPoints(vals, results, trials), nil
+}
+
+// aggregateTrialPoints folds the flattened (point × trial) results
+// into per-point trial statistics, identically for the streaming,
+// single-replay, and batched paths.
+func aggregateTrialPoints(vals []float64, results []*core.Result, trials int) []Point {
 	points := make([]Point, len(vals))
 	maxima := make([]float64, trials)
 	for p, v := range vals {
@@ -395,7 +476,7 @@ func (cfg Config) runTrials(vals []float64, popts parallel.Options) ([]Point, er
 			},
 		}
 	}
-	return points, nil
+	return points
 }
 
 // progressTick adapts Config.Progress into a per-task completion hook.

@@ -13,7 +13,8 @@ import (
 // CheckScenario runs every check the harness has against one
 // scenario: the structural linter over its generated trace, the
 // differential graph-vs-DES comparison, the metamorphic property
-// suite, and the compiled-replay equivalence check. The returned
+// suite, and the compiled-replay and lane-batched-replay equivalence
+// checks. The returned
 // strings are check failures; an empty slice means
 // the scenario passes. Infrastructure errors (the scenario cannot even
 // be traced) are reported as failures too — a generated scenario that
@@ -49,6 +50,14 @@ func CheckScenario(sc *Scenario) []string {
 	} else {
 		for _, f := range cf {
 			failures = append(failures, "compiled: "+f)
+		}
+	}
+	bf, err := CompiledBatchEquivalence(sc)
+	if err != nil {
+		failures = append(failures, fmt.Sprintf("compiled-batch: %v", err))
+	} else {
+		for _, f := range bf {
+			failures = append(failures, "compiled-batch: "+f)
 		}
 	}
 	return failures

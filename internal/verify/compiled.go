@@ -41,18 +41,96 @@ func CompiledEquivalence(sc *Scenario) ([]string, error) {
 		return nil, err
 	}
 
+	models, labels := equivalenceGrid(sc)
+	var failures []string
+	for i, trial := range models {
+		opts := core.Options{RecordCritPath: true}
+		set, release := snap.Acquire()
+		want, err := core.Analyze(set, trial, opts)
+		release()
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: streaming analyze: %v", labels[i], err))
+			continue
+		}
+		got, err := core.ReplayCompiled(prog, trial, opts)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: compiled replay: %v", labels[i], err))
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: compiled replay diverged from streaming analyze (makespan %g vs %g, crit-path steps %d vs %d, warnings %d vs %d)",
+				labels[i],
+				got.MakespanDelay, want.MakespanDelay,
+				critSteps(got), critSteps(want),
+				len(got.Warnings), len(want.Warnings)))
+		}
+	}
+	return failures, nil
+}
+
+// CompiledBatchEquivalence asserts the lane-batched replayer is
+// indistinguishable from the single-lane compiled replayer: the same
+// model grid CompiledEquivalence walks one at a time is packed as the
+// lanes of a single ReplayBatch tape walk — heterogeneous propagation
+// modes, collective modes, and sampler seeds side by side — and every
+// lane's Result must be deeply equal to a standalone ReplayCompiled of
+// that lane's model. Together with CompiledEquivalence this closes the
+// chain streaming ≡ compiled ≡ batched for the scenario.
+func CompiledBatchEquivalence(sc *Scenario) ([]string, error) {
+	traces, err := sc.BuildMemTraces()
+	if err != nil {
+		return nil, err
+	}
+	cset, err := trace.SetFromMem(traces)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := core.Compile(cset, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	models, labels := equivalenceGrid(sc)
+	opts := core.Options{RecordCritPath: true}
+	batch, err := core.ReplayBatch(prog, models, core.BatchOptions{Options: opts})
+	if err != nil {
+		return nil, fmt.Errorf("batch replay: %w", err)
+	}
+	var failures []string
+	for i, trial := range models {
+		want, err := core.ReplayCompiled(prog, trial, opts)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: compiled replay: %v", labels[i], err))
+			continue
+		}
+		if !reflect.DeepEqual(want, batch[i]) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: batch lane %d diverged from single compiled replay (makespan %g vs %g, crit-path steps %d vs %d, warnings %d vs %d)",
+				labels[i], i,
+				batch[i].MakespanDelay, want.MakespanDelay,
+				critSteps(batch[i]), critSteps(want),
+				len(batch[i].Warnings), len(want.Warnings)))
+		}
+	}
+	return failures, nil
+}
+
+// equivalenceGrid builds the model grid both compiled-replay checks
+// share — the scenario's constant perturbation (as the differential
+// check models it) and a seeded stochastic model (equivalence must
+// hold draw for draw, not just in expectation), each crossed with both
+// propagation modes and both collective modes — plus one label per
+// cell for failure messages. Grid order is deterministic, so batch
+// lane i always carries the model labels[i] names.
+func equivalenceGrid(sc *Scenario) ([]*core.Model, []string) {
 	lat, perByte, noise := sc.graphDeltas()
-	models := []*core.Model{
-		// The scenario's constant perturbation, as the differential
-		// check models it.
+	bases := []*core.Model{
 		{
 			Seed:       sc.MachineSeed,
 			MsgLatency: dist.Constant{C: lat},
 			PerByte:    dist.Constant{C: perByte},
 			OSNoise:    dist.Constant{C: noise},
 		},
-		// A stochastic model: equivalence must hold draw for draw, not
-		// just in expectation, so exercise the sampler streams too.
 		{
 			Seed:            sc.MachineSeed*6364136223846793005 + 1442695040888963407,
 			OSNoise:         dist.Exponential{MeanValue: 120},
@@ -61,39 +139,20 @@ func CompiledEquivalence(sc *Scenario) ([]string, error) {
 			CollectiveBytes: true,
 		},
 	}
-
-	var failures []string
-	for _, m := range models {
+	var models []*core.Model
+	var labels []string
+	for _, m := range bases {
 		for _, pm := range []core.PropagationMode{core.PropagationAdditive, core.PropagationAnchored} {
 			for _, cm := range []core.CollectiveMode{core.CollectiveApprox, core.CollectiveExplicit} {
 				trial := m.Clone()
 				trial.Propagation = pm
 				trial.Collectives = cm
-				opts := core.Options{RecordCritPath: true}
-				set, release := snap.Acquire()
-				want, err := core.Analyze(set, trial, opts)
-				release()
-				if err != nil {
-					failures = append(failures, fmt.Sprintf("%s/%s: streaming analyze: %v", pm, cm, err))
-					continue
-				}
-				got, err := core.ReplayCompiled(prog, trial, opts)
-				if err != nil {
-					failures = append(failures, fmt.Sprintf("%s/%s: compiled replay: %v", pm, cm, err))
-					continue
-				}
-				if !reflect.DeepEqual(want, got) {
-					failures = append(failures, fmt.Sprintf(
-						"%s/%s seed %d: compiled replay diverged from streaming analyze (makespan %g vs %g, crit-path steps %d vs %d, warnings %d vs %d)",
-						pm, cm, trial.Seed,
-						got.MakespanDelay, want.MakespanDelay,
-						critSteps(got), critSteps(want),
-						len(got.Warnings), len(want.Warnings)))
-				}
+				models = append(models, trial)
+				labels = append(labels, fmt.Sprintf("%s/%s seed %d", pm, cm, trial.Seed))
 			}
 		}
 	}
-	return failures, nil
+	return models, labels
 }
 
 // critSteps counts a result's critical-path steps (0 when unrecorded).
