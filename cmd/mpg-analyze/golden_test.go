@@ -14,6 +14,50 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // bytes for a deterministic workload (tokenring, 4 ranks, seed 1)
 // under a constant-latency model. Any change to trace generation,
 // graph construction, path extraction, or rendering shows up here.
+// TestGoldenTimeline pins the exact -timeline export bytes for the
+// same deterministic workload, and requires every engine — streaming,
+// compiled, and batched at several lane widths — to reproduce them
+// bit-for-bit. The timeline is a pure function of (trace, model), not
+// of the machinery that replays them.
+func TestGoldenTimeline(t *testing.T) {
+	dir := writeTraces(t)
+	golden := filepath.Join("testdata", "timeline.golden")
+	engines := []struct {
+		name string
+		args []string
+	}{
+		{"streaming", []string{"-engine", "streaming"}},
+		{"compiled", []string{"-engine", "compiled"}},
+		{"batched-1", []string{"-engine", "batched", "-replay-lanes", "1"}},
+		{"batched-4", []string{"-engine", "batched", "-replay-lanes", "4"}},
+		{"batched-default", []string{"-engine", "batched"}},
+	}
+	for i, eng := range engines {
+		out := filepath.Join(t.TempDir(), "run.trace.json")
+		args := append([]string{"-traces", dir, "-latency", "constant:500",
+			"-os-noise", "constant:20", "-timeline", out, "-timeline-window", "1000"}, eng.args...)
+		if err := run(args); err != nil {
+			t.Fatalf("%s: %v", eng.name, err)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 && *update {
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden (regenerate with -update): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s timeline deviates from golden (%d vs %d bytes)", eng.name, len(got), len(want))
+		}
+	}
+}
+
 func TestGoldenCritPath(t *testing.T) {
 	dir := writeTraces(t)
 	tmp := t.TempDir()

@@ -8,6 +8,13 @@
 // A platform signature from mpg-bench can supply the distributions:
 //
 //	mpg-analyze -traces traces/ -signature noisy-platform.json
+//
+// With -timeline the run additionally reconstructs per-rank interval
+// tracks with wait-state decomposition and writes them as Perfetto
+// trace-event JSON (see doc/TIMELINE.md):
+//
+//	mpg-analyze -traces traces/ -os-noise exponential:200 \
+//	    -timeline run.trace.json -timeline-window 5000
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"mpgraph/internal/microbench"
 	"mpgraph/internal/report"
 	"mpgraph/internal/scenario"
+	"mpgraph/internal/timeline"
 	"mpgraph/internal/trace"
 )
 
@@ -40,7 +48,13 @@ func run(args []string) error {
 	scenarioPath := fs.String("scenario", "", "scenario JSON bundling all model parameters (overrides individual model flags)")
 	maxWindow := fs.Int("max-window", 0, "abort if the streaming window exceeds this many pending ops (0 = unbounded)")
 	maxRanks := fs.Int("max-ranks", 32, "per-rank rows to print (0 = all)")
-	timeline := fs.Int("timeline", 0, "print a per-rank activity timeline this many columns wide (0 = off)")
+	asciiCols := fs.Int("ascii-timeline", 0, "print a per-rank activity timeline this many columns wide (0 = off)")
+	tlPath := fs.String("timeline", "", "write per-rank interval tracks with wait-state decomposition as Perfetto trace-event JSON to this path")
+	tlWindow := fs.Float64("timeline-window", 0, "window width in cycles for the timeline's counter tracks (0 = auto)")
+	tlRanks := fs.String("timeline-ranks", "", "ranks to include in the timeline export, e.g. \"0-3,7\" (empty or \"all\" = every rank)")
+	tlValidate := fs.String("timeline-validate", "", "validate an existing trace-event JSON file against the exporter's contract and exit")
+	engine := fs.String("engine", "streaming", "analysis engine: streaming, compiled, or batched (all byte-identical)")
+	replayLanes := fs.Int("replay-lanes", 0, "lane width for -engine batched (0 = default)")
 	trajectory := fs.String("trajectory", "", "write a per-event delay CSV (rank,event,kind,orig_end,delay,region) to this path")
 	history := fs.String("history", "", "append this run's summary to a JSON-lines history file (§7)")
 	label := fs.String("label", "", "label for the history entry")
@@ -52,8 +66,32 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *tlValidate != "" {
+		// Standalone validation mode: check a previously exported file
+		// (e.g. a CI artifact) and exit without analyzing anything.
+		data, err := os.ReadFile(*tlValidate)
+		if err != nil {
+			return err
+		}
+		if msgs := timeline.Validate(data); len(msgs) > 0 {
+			for _, m := range msgs {
+				fmt.Fprintln(os.Stderr, m)
+			}
+			return fmt.Errorf("%s: %d trace-event contract violations", *tlValidate, len(msgs))
+		}
+		fmt.Printf("%s: valid trace-event JSON\n", *tlValidate)
+		return nil
+	}
 	if *traces == "" {
 		return fmt.Errorf("-traces is required")
+	}
+	switch *engine {
+	case "streaming", "compiled", "batched":
+	default:
+		return fmt.Errorf("unknown -engine %q (want streaming, compiled, or batched)", *engine)
+	}
+	if *critpathDOT != "" && *engine != "streaming" {
+		return fmt.Errorf("-critpath-dot needs the graph sink; use -engine streaming")
 	}
 	model, err := mf.Build()
 	if err != nil {
@@ -81,13 +119,13 @@ func run(args []string) error {
 			sig.Platform, sig.NoiseSummary(), sig.LatencySummary())
 	}
 
-	if *timeline > 0 {
-		// The timeline drains its own copy of the traces.
+	if *asciiCols > 0 {
+		// The ASCII chart drains its own copy of the traces.
 		set, closeFn, err := trace.OpenDir(*traces)
 		if err != nil {
 			return err
 		}
-		if err := report.Timeline(os.Stdout, set, *timeline); err != nil {
+		if err := report.Timeline(os.Stdout, set, *asciiCols); err != nil {
 			closeFn() //nolint:errcheck
 			return err
 		}
@@ -110,6 +148,14 @@ func run(args []string) error {
 		graph = &core.Graph{}
 		opts.Graph = graph
 	}
+	var tl *timeline.Timeline
+	if *tlPath != "" {
+		// The export draws critical-path flow arrows, so extraction is
+		// forced whenever a timeline is requested.
+		tl = timeline.New(0)
+		opts.RecordCritPath = true
+		opts.Interval = tl.Record
+	}
 	var trajFile *os.File
 	if *trajectory != "" {
 		trajFile, err = os.Create(*trajectory)
@@ -126,7 +172,7 @@ func run(args []string) error {
 		}
 	}
 
-	res, err := core.Analyze(set, model, opts)
+	res, err := analyze(set, model, opts, *engine, *replayLanes)
 	if err != nil {
 		return err
 	}
@@ -152,6 +198,36 @@ func run(args []string) error {
 	}
 	if err := report.Analysis(os.Stdout, res, *maxRanks); err != nil {
 		return err
+	}
+	if tl != nil {
+		if err := report.WaitStates(os.Stdout, tl, res); err != nil {
+			return err
+		}
+		sel, err := timeline.ParseRanks(*tlRanks, res.NRanks)
+		if err != nil {
+			return err
+		}
+		eopts := timeline.ExportOptions{
+			Window:   *tlWindow,
+			Ranks:    sel,
+			CritPath: res.CritPath,
+		}
+		if of.SelfTrace != "" {
+			// Embedding wall-clock spans makes the file nondeterministic,
+			// so the engine process group only appears on request.
+			eopts.Spans = of.Registry().Spans().Snapshot()
+		}
+		f, err := os.Create(*tlPath)
+		if err != nil {
+			return err
+		}
+		if err := tl.WriteJSON(f, eopts); err != nil {
+			f.Close() //nolint:errcheck
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	if wantCrit {
 		if *critpath {
@@ -180,4 +256,56 @@ func run(args []string) error {
 		}
 	}
 	return of.Flush()
+}
+
+// analyze runs the model through the selected engine. All three
+// engines are pinned byte-identical by the core equivalence suite, so
+// the choice changes performance characteristics, never results: the
+// compiled engine pre-flattens the schedule into an op tape, and the
+// batched engine propagates the model as lane 0 of a replay batch
+// whose other lanes carry derived-seed variants (their results are
+// discarded — the lane exists to exercise the SoA walk).
+func analyze(set *trace.Set, model *core.Model, opts core.Options, engine string, lanes int) (*core.Result, error) {
+	if engine == "streaming" {
+		return core.Analyze(set, model, opts)
+	}
+	prog, err := core.Compile(set, core.Options{MaxWindow: opts.MaxWindow, Metrics: opts.Metrics})
+	if err != nil {
+		return nil, err
+	}
+	if engine == "compiled" {
+		return core.ReplayCompiled(prog, model, opts)
+	}
+	lanes = core.PickReplayLanes(lanes, core.DefaultReplayLanes)
+	models := make([]*core.Model, lanes)
+	models[0] = model
+	for k := 1; k < lanes; k++ {
+		m := model.Clone()
+		m.Seed = m.Seed*31 + uint64(k)*1000003 + 17
+		models[k] = m
+	}
+	bopts := core.BatchOptions{Options: opts}
+	if opts.Interval != nil {
+		iv := opts.Interval
+		bopts.Options.Interval = nil
+		bopts.LaneInterval = func(lane int, p core.IntervalPoint) {
+			if lane == 0 {
+				iv(p)
+			}
+		}
+	}
+	if opts.Trajectory != nil {
+		tj := opts.Trajectory
+		bopts.Options.Trajectory = nil
+		bopts.LaneTrajectory = func(lane int, p core.TrajectoryPoint) {
+			if lane == 0 {
+				tj(p)
+			}
+		}
+	}
+	results, err := core.ReplayBatch(prog, models, bopts)
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
 }

@@ -10,6 +10,7 @@ import (
 	"mpgraph/internal/microbench"
 	"mpgraph/internal/mpi"
 	"mpgraph/internal/report"
+	"mpgraph/internal/timeline"
 	"mpgraph/internal/workloads"
 )
 
@@ -80,10 +81,94 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
-func TestAnalyzeWithTimeline(t *testing.T) {
+func TestAnalyzeWithASCIITimeline(t *testing.T) {
 	dir := writeTraces(t)
-	if err := run([]string{"-traces", dir, "-timeline", "60"}); err != nil {
+	if err := run([]string{"-traces", dir, "-ascii-timeline", "60"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeWithTimelineExport(t *testing.T) {
+	dir := writeTraces(t)
+	out := filepath.Join(t.TempDir(), "run.trace.json")
+	if err := run([]string{"-traces", dir, "-latency", "constant:100",
+		"-timeline", out, "-timeline-window", "500"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs := timeline.Validate(data); len(msgs) > 0 {
+		t.Fatalf("exported timeline invalid:\n%s", strings.Join(msgs, "\n"))
+	}
+	s := string(data)
+	for _, want := range []string{`"ph":"B"`, `"ph":"s"`, `"ph":"f"`, `"cat":"critpath"`, `"parallel_efficiency"`, "wait:late-sender"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("exported timeline missing %s", want)
+		}
+	}
+	// The standalone validator accepts the export and rejects garbage.
+	if err := run([]string{"-timeline-validate", out}); err != nil {
+		t.Fatal(err)
+	}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badPath, []byte(`{"traceEvents":[{"ph":"E","pid":1,"tid":0,"ts":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-timeline-validate", badPath}); err == nil {
+		t.Fatal("validator accepted unbalanced trace")
+	}
+}
+
+func TestAnalyzeTimelineRankFilter(t *testing.T) {
+	dir := writeTraces(t)
+	out := filepath.Join(t.TempDir(), "run.trace.json")
+	if err := run([]string{"-traces", dir, "-latency", "constant:100",
+		"-timeline", out, "-timeline-ranks", "1-2"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if strings.Contains(s, `"rank 0"`) || !strings.Contains(s, `"rank 1"`) {
+		t.Fatalf("rank filter not applied:\n%.400s", s)
+	}
+	if err := run([]string{"-traces", dir, "-timeline", out,
+		"-timeline-ranks", "0-9"}); err == nil {
+		t.Fatal("out-of-world rank filter accepted")
+	}
+}
+
+func TestAnalyzeEngineFlag(t *testing.T) {
+	dir := writeTraces(t)
+	if err := run([]string{"-traces", dir, "-engine", "warp"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if err := run([]string{"-traces", dir, "-engine", "compiled",
+		"-critpath-dot", filepath.Join(t.TempDir(), "g.dot")}); err == nil {
+		t.Fatal("-critpath-dot with compiled engine accepted")
+	}
+}
+
+func TestAnalyzeSelfTrace(t *testing.T) {
+	dir := writeTraces(t)
+	out := filepath.Join(t.TempDir(), "self.trace.json")
+	if err := run([]string{"-traces", dir, "-latency", "constant:100",
+		"-selftrace", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs := timeline.Validate(data); len(msgs) > 0 {
+		t.Fatalf("self-trace invalid:\n%s", strings.Join(msgs, "\n"))
+	}
+	if !strings.Contains(string(data), `"analyze"`) {
+		t.Fatalf("self-trace missing analyze span:\n%s", data)
 	}
 }
 

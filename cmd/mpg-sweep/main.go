@@ -91,16 +91,21 @@ func run(args []string, w, stderr io.Writer) error {
 		ReplayLanes:     *lanes,
 		Metrics:         of.Registry(),
 	}
+	var rep *obsv.Progress
 	if *progress {
 		total := len(cfg.Values())
 		if *trials > 1 {
 			total *= *trials
 		}
-		rep := obsv.NewProgress(stderr, "replays", total, 0)
+		rep = obsv.NewProgress(stderr, "replays", total, 0)
+		// The defer only covers error returns: the reporter must stop
+		// before the results render, or its ticker repaints interleave
+		// with the table on a shared terminal.
 		defer rep.Done()
 		cfg.Progress = func(done, total int) { rep.Add(1) }
 	}
 	res, err := sweep.Run(cfg)
+	rep.Done()
 	if err != nil {
 		return err
 	}

@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 
+	"mpgraph/internal/cli"
 	"mpgraph/internal/core"
 	"mpgraph/internal/report"
 	"mpgraph/internal/trace"
@@ -49,6 +50,8 @@ func run(args []string, stdout io.Writer) error {
 	scenarioPath := fs.String("scenario", "", "re-check one scenario or reproducer JSON instead of a campaign")
 	tracesDir := fs.String("traces", "", "lint a trace directory instead of running a campaign")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of text")
+	var of cli.ObsvFlags
+	of.Register(fs, false)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,11 +67,12 @@ func run(args []string, stdout io.Writer) error {
 			Workers:      *workers,
 			ShrinkBudget: *shrinkBudget,
 			ReproDir:     *reproDir,
-		}, *jsonOut)
+			Metrics:      of.Registry(),
+		}, *jsonOut, &of)
 	}
 }
 
-func runCampaign(stdout io.Writer, opts verify.CampaignOptions, jsonOut bool) error {
+func runCampaign(stdout io.Writer, opts verify.CampaignOptions, jsonOut bool, of *cli.ObsvFlags) error {
 	rep, err := verify.Campaign(opts)
 	if err != nil {
 		return err
@@ -78,6 +82,9 @@ func runCampaign(stdout io.Writer, opts verify.CampaignOptions, jsonOut bool) er
 			return err
 		}
 	} else if err := report.VerifyCampaign(stdout, rep); err != nil {
+		return err
+	}
+	if err := of.Flush(); err != nil {
 		return err
 	}
 	if !rep.OK() {

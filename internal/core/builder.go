@@ -14,6 +14,7 @@ import (
 // streaming pass, returning the per-rank delay outcome.
 func Analyze(set *trace.Set, model *Model, opts Options) (*Result, error) {
 	defer opts.Metrics.Timer("core_analyze").Start()()
+	defer opts.Metrics.SpanStart("analyze")()
 	a, err := newAnalyzer(set, model, opts)
 	if err != nil {
 		return nil, err
@@ -129,6 +130,14 @@ type rankState struct {
 	// while crit recording is enabled).
 	critStart critStep
 	critEnd   critStep
+
+	// Pending interval detail for the current record (valid only while
+	// Options.Interval is set): the wait charged by the completion merge
+	// and, for receive completions, the matched sender subevent.
+	ivWait      float64
+	ivState     WaitState
+	ivPeerRank  int
+	ivPeerEvent int64
 
 	reqs map[uint64]*reqRef
 
@@ -324,6 +333,10 @@ func (a *analyzer) beginRecord(rs *rankState, rec trace.Record) error {
 	rs.posted = false
 	rs.myMsg = nil
 	rs.myColl = nil
+	rs.ivWait = 0
+	rs.ivState = WaitNone
+	rs.ivPeerRank = -1
+	rs.ivPeerEvent = 0
 	rs.ph = phaseComplete
 
 	gap := int64(0)
@@ -476,6 +489,21 @@ func (a *analyzer) finishRecord(rs *rankState, rec trace.Record, endD float64, e
 			OrigEnd: rec.End,
 			Delay:   endD,
 			Region:  rs.region,
+		})
+	}
+	if a.opts.Interval != nil {
+		a.opts.Interval(IntervalPoint{
+			Rank:       rs.rank,
+			Event:      rs.eventIdx - 1,
+			Kind:       uint8(rec.Kind),
+			OrigBegin:  rec.Begin,
+			OrigEnd:    rec.End,
+			StartDelay: rs.startD,
+			EndDelay:   endD,
+			Wait:       rs.ivWait,
+			State:      rs.ivState,
+			PeerRank:   rs.ivPeerRank,
+			PeerEvent:  rs.ivPeerEvent,
 		})
 	}
 
@@ -669,6 +697,7 @@ func (a *analyzer) sendCompletion(rs *rankState, m *msgState, w int64) (float64,
 	// so the branch repeats its comparison instead of re-testing the
 	// returned float for equality.
 	if remote > local {
+		rs.ivWait, rs.ivState = remote-local, WaitLateReceiver
 		a.critRemoteMsg(rs, m)
 		return remote, remoteAttr
 	}
@@ -682,7 +711,10 @@ func (a *analyzer) recvCompletion(rs *rankState, m *msgState, w int64) (float64,
 	local, remote, localAttr, remoteAttr := recvCompletionKernel(
 		a.model.Propagation, rs.startD, rs.startAttr, w, &m.xfer)
 	a.merge(rs, local, remote)
+	rs.ivPeerRank = m.sendStartRef.Rank
+	rs.ivPeerEvent = m.sendStartRef.Event
 	if remote > local {
+		rs.ivWait, rs.ivState = remote-local, WaitLateSender
 		if a.model.Propagation == PropagationAnchored {
 			if a.crit != nil {
 				// Anchored receive: the remote path is always the data

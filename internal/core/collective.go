@@ -73,6 +73,7 @@ func (a *analyzer) completeCollective(rs *rankState, rec trace.Record) (float64,
 			}
 			a.merge(rs, local, remote)
 			if remote > local {
+				rs.ivWait, rs.ivState = remote-local, WaitCollective
 				if a.crit != nil {
 					rs.critEnd = critStep{pred: p.outPredRef, predD: p.outPredD, kind: EdgeCollective, hasPred: true}
 				}

@@ -275,8 +275,10 @@ func (r *compileRecorder) onEnd(rs *rankState, rec trace.Record) {
 // ignored — pass them to ReplayCompiled instead.
 func Compile(set *trace.Set, opts Options) (*Compiled, error) {
 	defer opts.Metrics.Timer("core_compile").Start()()
+	defer opts.Metrics.SpanStart("compile")()
 	opts.Graph = nil
 	opts.Trajectory = nil
+	opts.Interval = nil
 	opts.RecordCritPath = false
 	a, err := newAnalyzer(set, &Model{}, opts)
 	if err != nil {

@@ -301,6 +301,40 @@ func TestReplayCompiledAllocs(t *testing.T) {
 	}
 }
 
+// TestReplayCompiledTimelineOffAllocs pins the timeline-off contract:
+// a replay with no Interval sink stays inside the existing hot-path
+// budget even when the same pooled state has previously serviced an
+// interval-recording replay. The per-point IntervalPoint is stack-
+// built only when the sink is set, so disabled runs pay nothing.
+func TestReplayCompiledTimelineOffAllocs(t *testing.T) {
+	snap := snapWorkload(t, "tokenring", 8, workloads.Options{Iterations: 8})
+	set, release := snap.Acquire()
+	c, err := Compile(set, Options{})
+	release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &Model{
+		Seed:       5,
+		OSNoise:    dist.Exponential{MeanValue: 50},
+		MsgLatency: dist.Exponential{MeanValue: 200},
+	}
+	// Warm the pool with an interval-recording replay so the guard also
+	// proves recording leaves no allocation residue in the pooled state.
+	sink := func(IntervalPoint) {}
+	if _, err := ReplayCompiled(c, model, Options{Interval: sink}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := ReplayCompiled(c, model, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 16 {
+		t.Fatalf("warm timeline-off ReplayCompiled allocates %.1f objects/replay; want <= 16", allocs)
+	}
+}
+
 // TestSnapshotAcquireAllocs pins Snapshot.Acquire's pooled reader
 // path: ~3 allocations (the readers slice, the Set, the release
 // closure) with 2x headroom.

@@ -189,6 +189,16 @@ type Options struct {
 	// absorbed or fully propagated" (§4.2). Events arrive in per-rank
 	// order but interleaved across ranks.
 	Trajectory func(TrajectoryPoint)
+	// Interval, when non-nil, is invoked once per resolved event end
+	// subevent with the timing detail a per-rank timeline needs: the
+	// traced interval, the delays at both subevents, and — when a
+	// remote path won the completion merge — the excess over the local
+	// path (the wait) with its wait-state classification. Points arrive
+	// in per-rank order but interleaved across ranks, in the same order
+	// Trajectory points do. The hook observes only: no sample is drawn
+	// and no delay changes, so instrumented runs are byte-identical to
+	// uninstrumented ones.
+	Interval func(IntervalPoint)
 	// RecordCritPath records the argmax predecessor at every max()
 	// merge so Result.CritPath can name the edges behind the makespan
 	// delay. Recording never alters propagated delays (no sample is
@@ -217,6 +227,73 @@ type TrajectoryPoint struct {
 	// Region is the rank's current marker region (−1 before the first
 	// marker).
 	Region int32
+}
+
+// WaitState classifies the blocked portion of a completed event: which
+// remote path held the event's end subevent past its own local path.
+type WaitState uint8
+
+const (
+	// WaitNone marks events whose own local path dominated (no remote
+	// wait; the event absorbed any inbound perturbation).
+	WaitNone WaitState = iota
+	// WaitLateSender marks receive-side completions (blocking Recv or a
+	// wait on an Irecv) held by the transfer: the data left the sender
+	// too late for the receiver's local path to hide it.
+	WaitLateSender
+	// WaitLateReceiver marks send-side completions (blocking Send or a
+	// wait on an Isend) held by the acknowledgment path: the receiver
+	// completed the transfer later than the sender's local path.
+	WaitLateReceiver
+	// WaitCollective marks collective completions held by another
+	// participant's inbound delay (collective imbalance).
+	WaitCollective
+)
+
+// String returns the wait-state name.
+func (s WaitState) String() string {
+	switch s {
+	case WaitNone:
+		return "none"
+	case WaitLateSender:
+		return "late-sender"
+	case WaitLateReceiver:
+		return "late-receiver"
+	case WaitCollective:
+		return "collective"
+	}
+	return fmt.Sprintf("wait(%d)", uint8(s))
+}
+
+// IntervalPoint is one event's timeline observation: enough to place
+// the event's perturbed interval on its rank's track and split it into
+// an executing part and a waiting part.
+type IntervalPoint struct {
+	// Rank is the world rank.
+	Rank int
+	// Event is the record index on the rank.
+	Event int64
+	// Kind is the event kind.
+	Kind uint8
+	// OrigBegin and OrigEnd are the traced local interval.
+	OrigBegin, OrigEnd int64
+	// StartDelay is D at the event's start subevent, EndDelay is D at
+	// its end subevent (after any §4.3 order clamp). The perturbed
+	// interval is [OrigBegin+StartDelay, OrigEnd+EndDelay].
+	StartDelay, EndDelay float64
+	// Wait is the excess of the winning remote path over the event's
+	// local path (remote − local, exactly the amount mergeStats adds to
+	// RankResult.DelayInduced), zero when the local path won or the
+	// event performed no merge. Per rank, the Waits accumulated in
+	// point order sum bitwise to that rank's DelayInduced.
+	Wait float64
+	// State classifies Wait; WaitNone when Wait is zero.
+	State WaitState
+	// PeerRank/PeerEvent name the sending rank's posting event for
+	// receive-side completions (the message edge the data traveled);
+	// PeerRank is −1 for every other event.
+	PeerRank  int
+	PeerEvent int64
 }
 
 // sampler owns the deterministic perturbation streams: one OS-noise

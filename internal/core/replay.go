@@ -27,6 +27,7 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 		return nil, errors.New("core: ReplayCompiled cannot feed a graph sink; use Analyze for graph export")
 	}
 	defer opts.Metrics.Timer("core_replay_compiled").Start()()
+	defer opts.Metrics.SpanStart("replay")()
 	if model == nil {
 		//mpg:lint-ignore hotpathalloc nil-model fallback; Monte Carlo callers always pass a model
 		model = &Model{}
@@ -111,6 +112,8 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 			var endD float64
 			var endAttr Attribution
 			var critEnd critStep
+			var ivWait float64
+			var ivState WaitState
 			if recordCrit {
 				// Default argmax: the event's own start subevent.
 				critEnd = critStep{pred: NodeRef{Rank: rank, Event: o.event}, predD: sD, kind: EdgeLocal, hasPred: true}
@@ -133,6 +136,7 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 				mergeStats(rr, reg, local, remote)
 				if remote > local {
 					endD, endAttr = remote, remoteAttr
+					ivWait, ivState = remote-local, WaitLateReceiver
 					if recordCrit {
 						critEnd = st.msgCrit(c, o.arg)
 					}
@@ -148,6 +152,7 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 				mergeStats(rr, reg, local, remote)
 				if remote > local {
 					endD, endAttr = remote, remoteAttr
+					ivWait, ivState = remote-local, WaitLateSender
 					if recordCrit {
 						if model.Propagation == PropagationAnchored {
 							// Anchored receive: the remote path is always the
@@ -173,6 +178,7 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 				mergeStats(rr, reg, local, remote)
 				if remote > local {
 					endD, endAttr = remote, st.collOutAttr[pi]
+					ivWait, ivState = remote-local, WaitCollective
 					if recordCrit {
 						cc := &c.colls[pt.coll]
 						wp := &c.parts[cc.partOff+st.collOutPred[pi]]
@@ -210,6 +216,26 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 					Delay:   endD,
 					Region:  c.regionKeys[o.region].Region,
 				})
+			}
+			if opts.Interval != nil {
+				p := IntervalPoint{
+					Rank:       rank,
+					Event:      o.event,
+					Kind:       o.kind,
+					OrigBegin:  o.origEnd - o.aux,
+					OrigEnd:    o.origEnd,
+					StartDelay: sD,
+					EndDelay:   endD,
+					Wait:       ivWait,
+					State:      ivState,
+					PeerRank:   -1,
+				}
+				if o.code == opEndRecv {
+					cm := &c.msgs[o.arg]
+					p.PeerRank = int(cm.sendRank)
+					p.PeerEvent = cm.sendEvent
+				}
+				opts.Interval(p)
 			}
 			if !reg.firstSeen {
 				reg.firstSeen = true

@@ -71,6 +71,11 @@ type BatchOptions struct {
 	// event end before the next event — so per-lane consumers must key
 	// on the lane index, not on arrival order.
 	LaneTrajectory func(lane int, p TrajectoryPoint)
+
+	// LaneInterval is Options.Interval with the lane index prepended,
+	// under the same delivery contract as LaneTrajectory. Options.
+	// Interval must be nil when batching (it carries no lane identity).
+	LaneInterval func(lane int, p IntervalPoint)
 }
 
 // ReplayBatch propagates K perturbation models over a compiled graph
@@ -91,6 +96,9 @@ func ReplayBatch(c *Compiled, models []*Model, opts BatchOptions) ([]*Result, er
 	if opts.Trajectory != nil {
 		return nil, errors.New("core: ReplayBatch needs lane identity on trajectory points; set BatchOptions.LaneTrajectory, not Options.Trajectory")
 	}
+	if opts.Interval != nil {
+		return nil, errors.New("core: ReplayBatch needs lane identity on interval points; set BatchOptions.LaneInterval, not Options.Interval")
+	}
 	if len(models) == 0 {
 		return nil, errors.New("core: ReplayBatch requires at least one model")
 	}
@@ -99,6 +107,9 @@ func ReplayBatch(c *Compiled, models []*Model, opts BatchOptions) ([]*Result, er
 		if lt := opts.LaneTrajectory; lt != nil {
 			single.Trajectory = func(p TrajectoryPoint) { lt(0, p) }
 		}
+		if li := opts.LaneInterval; li != nil {
+			single.Interval = func(p IntervalPoint) { li(0, p) }
+		}
 		res, err := ReplayCompiled(c, models[0], single)
 		if err != nil {
 			return nil, err
@@ -106,6 +117,7 @@ func ReplayBatch(c *Compiled, models []*Model, opts BatchOptions) ([]*Result, er
 		return []*Result{res}, nil
 	}
 	defer opts.Metrics.Timer("core_replay_batch").Start()()
+	defer opts.Metrics.SpanStart("replay_batch")()
 	K := len(models)
 	for i, m := range models {
 		if m == nil {
@@ -145,7 +157,7 @@ func ReplayBatch(c *Compiled, models []*Model, opts BatchOptions) ([]*Result, er
 		}
 	}
 
-	st.walk(c, res, recordCrit, opts.LaneTrajectory)
+	st.walk(c, res, recordCrit, opts.LaneTrajectory, opts.LaneInterval)
 
 	// Finalize each lane exactly as ReplayCompiled finalizes its one
 	// result; nothing here may reference pooled memory.
@@ -328,7 +340,7 @@ func (st *batchState) ensureCrit(c *Compiled) {
 // every lane byte-identical to a standalone replay.
 //
 //mpg:hotpath
-func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(int, TrajectoryPoint)) {
+func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(int, TrajectoryPoint), li func(int, IntervalPoint)) {
 	K := st.K
 	k64 := int64(K)
 	for i := range c.ops {
@@ -392,6 +404,8 @@ func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(
 				var endD float64
 				var endAttr Attribution
 				var critEnd critStep
+				var ivWait float64
+				var ivState WaitState
 				if recordCrit {
 					// Default argmax: the event's own start subevent.
 					critEnd = critStep{pred: NodeRef{Rank: rank, Event: o.event}, predD: sD, kind: EdgeLocal, hasPred: true}
@@ -414,6 +428,7 @@ func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(
 					mergeStats(rr, reg, local, remote)
 					if remote > local {
 						endD, endAttr = remote, remoteAttr
+						ivWait, ivState = remote-local, WaitLateReceiver
 						if recordCrit {
 							critEnd = st.msgCritLane(c, o.arg, k)
 						}
@@ -429,6 +444,7 @@ func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(
 					mergeStats(rr, reg, local, remote)
 					if remote > local {
 						endD, endAttr = remote, remoteAttr
+						ivWait, ivState = remote-local, WaitLateSender
 						if recordCrit {
 							if model.Propagation == PropagationAnchored {
 								// Anchored receive: the remote path is always the
@@ -454,6 +470,7 @@ func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(
 					mergeStats(rr, reg, local, remote)
 					if remote > local {
 						endD, endAttr = remote, st.collOutAttr[pi]
+						ivWait, ivState = remote-local, WaitCollective
 						if recordCrit {
 							cc := &c.colls[pt.coll]
 							wp := &c.parts[cc.partOff+st.collOutPred[pi]]
@@ -491,6 +508,26 @@ func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(
 						Delay:   endD,
 						Region:  c.regionKeys[o.region].Region,
 					})
+				}
+				if li != nil {
+					p := IntervalPoint{
+						Rank:       rank,
+						Event:      o.event,
+						Kind:       o.kind,
+						OrigBegin:  o.origEnd - o.aux,
+						OrigEnd:    o.origEnd,
+						StartDelay: sD,
+						EndDelay:   endD,
+						Wait:       ivWait,
+						State:      ivState,
+						PeerRank:   -1,
+					}
+					if o.code == opEndRecv {
+						cm := &c.msgs[o.arg]
+						p.PeerRank = int(cm.sendRank)
+						p.PeerEvent = cm.sendEvent
+					}
+					li(k, p)
 				}
 				if !reg.firstSeen {
 					reg.firstSeen = true

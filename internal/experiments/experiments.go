@@ -156,6 +156,7 @@ func runFig2(cfg Config) (*Outcome, error) {
 	}
 	type fig2Row struct{ gotS, gotR, wantS, wantR float64 }
 	rows, err := parallel.Map(len(grid), cfg.pool(), func(i int) (fig2Row, error) {
+		defer cfg.Metrics.SpanStart("experiment_cell")()
 		osn, lat := grid[i].osn, grid[i].lat
 		pb := lat / 10
 		set, err := pairSet()
@@ -262,6 +263,7 @@ func runFig4(cfg Config) (*Outcome, error) {
 		"p", "approx (Fig.4 hub)", "explicit pattern", "approx/explicit")
 	modes := []core.CollectiveMode{core.CollectiveApprox, core.CollectiveExplicit}
 	delays, err := parallel.Map(len(sizes)*len(modes), cfg.pool(), func(t int) (float64, error) {
+		defer cfg.Metrics.SpanStart("experiment_cell")()
 		p, mode := sizes[t/len(modes)], modes[t%len(modes)]
 		set, err := traceWorkload("cg", p, workloads.Options{Iterations: cfg.pick(10, 3)}, cfg.Seed)
 		if err != nil {
@@ -378,6 +380,7 @@ func runAblA(cfg Config) (*Outcome, error) {
 		"iterations", "events", "window-high-water")
 	lengths := []int{10, 40, 160}
 	results, err := parallel.Map(len(lengths), cfg.pool(), func(i int) (*core.Result, error) {
+		defer cfg.Metrics.SpanStart("experiment_cell")()
 		set, err := traceWorkload("stencil1d", n, workloads.Options{Iterations: lengths[i]}, cfg.Seed)
 		if err != nil {
 			return nil, err
@@ -554,6 +557,7 @@ func runExtNeg(cfg Config) (*Outcome, error) {
 		"removed/edge", "mean-delay", "order-violations-clamped")
 	removed := []float64{0, 100, 200, 400}
 	results, err := parallel.Map(len(removed), cfg.pool(), func(i int) (*core.Result, error) {
+		defer cfg.Metrics.SpanStart("experiment_cell")()
 		prog, err := workloads.BuildByName("cg", workloads.Options{Iterations: iters})
 		if err != nil {
 			return nil, err
@@ -646,6 +650,7 @@ func runExtTopo(cfg Config) (*Outcome, error) {
 	topos := []machine.Topology{machine.TopoFull, machine.TopoRing,
 		machine.TopoMesh2D, machine.TopoHypercube}
 	spans, err := parallel.Map(len(topos), cfg.pool(), func(i int) (int64, error) {
+		defer cfg.Metrics.SpanStart("experiment_cell")()
 		// Built per task: concurrent runs must not share program state.
 		prog, err := workloads.BuildByName("stencil2d", workloads.Options{Iterations: iters})
 		if err != nil {

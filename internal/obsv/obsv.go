@@ -177,6 +177,10 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	timers   map[string]*Timer
+
+	// spans is the self-profiling ring, nil until EnableSpans; kept as
+	// an atomic pointer so SpanStart stays lock-free (see span.go).
+	spans atomic.Pointer[SpanBuffer]
 }
 
 // NewRegistry returns an empty registry.
@@ -254,12 +258,61 @@ func (r *Registry) Timer(name string) *Timer {
 }
 
 // HistogramSnapshot is one histogram's exported state. Counts has one
-// entry per finite bound plus a trailing overflow bucket.
+// entry per finite bound plus a trailing overflow bucket. P50/P90/P99
+// are bucket-interpolated quantile estimates (see Quantile), computed
+// at snapshot time.
 type HistogramSnapshot struct {
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
 	Bounds []float64 `json:"bounds,omitempty"`
 	Counts []int64   `json:"counts,omitempty"`
+	P50    float64   `json:"p50,omitempty"`
+	P90    float64   `json:"p90,omitempty"`
+	P99    float64   `json:"p99,omitempty"`
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// counts by linear interpolation inside the containing bucket, taking 0
+// as the first bucket's lower edge. Observations in the overflow bucket
+// have no finite upper edge, so a quantile landing there reports the
+// last finite bound (the estimate saturates). Returns 0 when the
+// histogram is empty.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count <= 0 || len(h.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	if target < 1 {
+		target = 1 // any quantile of one observation is that observation
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < target {
+			continue
+		}
+		if i < len(h.Bounds) {
+			lower := 0.0
+			if i > 0 {
+				lower = h.Bounds[i-1]
+			}
+			return lower + (target-prev)/float64(c)*(h.Bounds[i]-lower)
+		}
+		// Overflow bucket.
+		if len(h.Bounds) == 0 {
+			return h.Sum / float64(h.Count)
+		}
+		return h.Bounds[len(h.Bounds)-1]
+	}
+	// Unreachable: cum == Count >= target after the last bucket.
+	return h.Sum / float64(h.Count)
 }
 
 // TimerSnapshot is one timer's exported state.
@@ -308,6 +361,9 @@ func (r *Registry) Snapshot() Snapshot {
 		for i := range h.counts {
 			hs.Counts[i] = h.counts[i].Load()
 		}
+		hs.P50 = hs.Quantile(0.50)
+		hs.P90 = hs.Quantile(0.90)
+		hs.P99 = hs.Quantile(0.99)
 		s.Histograms[name] = hs
 	}
 	for name, t := range r.timers {
@@ -354,7 +410,8 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		if h.Count > 0 {
 			mean = h.Sum / float64(h.Count)
 		}
-		lines = append(lines, fmt.Sprintf("histogram %s count=%d sum=%g mean=%g", name, h.Count, h.Sum, mean))
+		lines = append(lines, fmt.Sprintf("histogram %s count=%d sum=%g mean=%g p50=%g p90=%g p99=%g",
+			name, h.Count, h.Sum, mean, h.P50, h.P90, h.P99))
 	}
 	for name, t := range s.Timers {
 		lines = append(lines, fmt.Sprintf("timer %s count=%d total=%.3fms", name, t.Count, t.TotalMS))

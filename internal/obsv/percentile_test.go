@@ -1,0 +1,108 @@
+package obsv
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestQuantileUniformSingleBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("u", []float64{100})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	hs := r.Snapshot().Histograms["u"]
+	// All mass in [0, 100]; interpolation is linear in the bucket.
+	if !almost(hs.P50, 50) || !almost(hs.P90, 90) || !almost(hs.P99, 99) {
+		t.Fatalf("p50=%g p90=%g p99=%g, want 50/90/99", hs.P50, hs.P90, hs.P99)
+	}
+	if !almost(hs.Quantile(0), 1) {
+		t.Fatalf("q0 = %g, want 1 (first observation)", hs.Quantile(0))
+	}
+	if !almost(hs.Quantile(1), 100) {
+		t.Fatalf("q1 = %g, want 100", hs.Quantile(1))
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("two", []float64{10, 20})
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i)) // bucket [0, 10]
+	}
+	for i := 11; i <= 20; i++ {
+		h.Observe(float64(i)) // bucket (10, 20]
+	}
+	hs := r.Snapshot().Histograms["two"]
+	if !almost(hs.P50, 10) {
+		t.Errorf("p50 = %g, want 10 (bucket edge)", hs.P50)
+	}
+	if got := hs.Quantile(0.75); !almost(got, 15) {
+		t.Errorf("q75 = %g, want 15", got)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ovf", []float64{10})
+	for i := 0; i < 5; i++ {
+		h.Observe(50) // all beyond the last finite bound
+	}
+	hs := r.Snapshot().Histograms["ovf"]
+	// The overflow bucket has no upper edge; the estimate saturates at
+	// the last finite bound rather than inventing one.
+	if !almost(hs.P50, 10) || !almost(hs.P99, 10) {
+		t.Errorf("overflow quantiles = %g/%g, want 10/10", hs.P50, hs.P99)
+	}
+}
+
+func TestQuantileNoBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("raw", nil)
+	h.Observe(4)
+	h.Observe(8)
+	hs := r.Snapshot().Histograms["raw"]
+	// A single unbounded bucket can only report the mean.
+	if !almost(hs.P50, 6) {
+		t.Errorf("p50 = %g, want mean 6", hs.P50)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var hs HistogramSnapshot
+	if hs.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram quantile = %g", hs.Quantile(0.5))
+	}
+}
+
+func TestQuantileClampsQ(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("c", []float64{10})
+	h.Observe(5)
+	hs := r.Snapshot().Histograms["c"]
+	if hs.Quantile(-3) != hs.Quantile(0) || hs.Quantile(7) != hs.Quantile(1) {
+		t.Error("q is not clamped to [0, 1]")
+	}
+}
+
+func TestSnapshotJSONCarriesPercentiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{10, 100})
+	for i := 1; i <= 50; i++ {
+		h.Observe(float64(i))
+	}
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, key := range []string{`"p50":`, `"p90":`, `"p99":`} {
+		if !strings.Contains(s, key) {
+			t.Errorf("JSON snapshot missing %s:\n%s", key, s)
+		}
+	}
+}

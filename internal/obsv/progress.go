@@ -3,6 +3,7 @@ package obsv
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,10 +23,11 @@ type Progress struct {
 
 	done atomic.Int64
 
-	mu     sync.Mutex // serializes writes
-	stop   chan struct{}
-	closed sync.Once
-	wg     sync.WaitGroup
+	mu      sync.Mutex // serializes writes
+	lastLen int        // length of the last painted line (under mu)
+	stop    chan struct{}
+	closed  sync.Once
+	wg      sync.WaitGroup
 }
 
 // NewProgress starts a reporter for total units of work, repainting
@@ -85,10 +87,19 @@ func (p *Progress) paint(final bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	line := renderProgress(p.label, p.done.Load(), p.total, time.Since(p.start))
+	// A repaint only overwrites as far as it reaches: when the new line
+	// is shorter than the last one (the eta clause drops off at the
+	// final paint, or on early termination), the tail of the old line
+	// would survive on screen. Pad to the previous length to erase it.
+	pad := ""
+	if n := p.lastLen - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	p.lastLen = len(line)
 	if final {
-		fmt.Fprintf(p.w, "\r%s\n", line)
+		fmt.Fprintf(p.w, "\r%s%s\n", line, pad)
 	} else {
-		fmt.Fprintf(p.w, "\r%s", line)
+		fmt.Fprintf(p.w, "\r%s%s", line, pad)
 	}
 }
 

@@ -1,0 +1,63 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProgressFinalNewlineOnEarlyTermination pins the early-exit
+// contract: Done always paints a final line terminated by a newline,
+// even when no work completed and the ticker never fired, so whatever
+// the tool prints next starts on a fresh line.
+func TestProgressFinalNewlineOnEarlyTermination(t *testing.T) {
+	var buf lockedBuffer
+	p := NewProgress(&buf, "job", 100, time.Hour)
+	p.Add(3)
+	p.Done()
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("final paint not newline-terminated: %q", out)
+	}
+	if !strings.Contains(out, "3/100") {
+		t.Fatalf("final paint missing progress: %q", out)
+	}
+	p.Done() // idempotent; must not paint again
+	if buf.String() != out {
+		t.Fatal("second Done painted again")
+	}
+}
+
+// TestProgressRepaintErasesLongerLine pins the padding fix: when a
+// repaint is shorter than its predecessor (the eta clause drops once
+// the run completes), the stale tail must be overwritten with spaces
+// rather than left on screen after the carriage return.
+func TestProgressRepaintErasesLongerLine(t *testing.T) {
+	var buf lockedBuffer
+	p := NewProgress(&buf, "sweep", 1000000, time.Hour)
+	p.Add(1) // mid-run line carries "eta <huge>"
+	p.paint(false)
+	mid := lastPaint(buf.String())
+	if !strings.Contains(mid, "eta") {
+		t.Fatalf("mid-run paint has no eta clause: %q", mid)
+	}
+	p.Add(999999) // complete: the final line drops the eta clause
+	p.Done()
+	final := lastPaint(buf.String())
+	if strings.Contains(final, "eta") {
+		t.Fatalf("final paint still shows an eta: %q", final)
+	}
+	if len(final) < len(mid) {
+		t.Fatalf("short repaint not padded to erase %q: %q", mid, final)
+	}
+}
+
+// lastPaint returns the text after the last carriage return, without
+// the trailing newline.
+func lastPaint(s string) string {
+	s = strings.TrimSuffix(s, "\n")
+	if i := strings.LastIndexByte(s, '\r'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}

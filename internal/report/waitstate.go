@@ -1,0 +1,35 @@
+package report
+
+import (
+	"io"
+
+	"mpgraph/internal/core"
+	"mpgraph/internal/timeline"
+)
+
+// WaitStates renders the per-rank wait-state decomposition recorded by
+// a timeline-instrumented replay: how much induced delay each rank
+// absorbed while waiting on a late sender, a late receiver, or a
+// collective, next to the rank's perturbed completion time. The total
+// column is exactly RankResult.DelayInduced (the timeline invariant
+// pins this bitwise), so the table is the text-mode view of the same
+// decomposition the Perfetto export draws.
+func WaitStates(w io.Writer, tl *timeline.Timeline, res *core.Result) error {
+	tbl := NewTable("wait states (cycles of induced delay per rank)",
+		"rank", "late-sender", "late-receiver", "collective", "total-wait", "completion")
+	var ls, lr, cl, tot float64
+	for r := 0; r < res.NRanks; r++ {
+		var wr timeline.RankWaits
+		if r < len(tl.Waits) {
+			wr = tl.Waits[r]
+		}
+		completion := float64(res.Ranks[r].OrigEnd) + res.Ranks[r].FinalDelay
+		tbl.AddRow(r, wr.LateSender, wr.LateReceiver, wr.Collective, wr.Total, completion)
+		ls += wr.LateSender
+		lr += wr.LateReceiver
+		cl += wr.Collective
+		tot += wr.Total
+	}
+	tbl.AddRow("all", ls, lr, cl, tot, "")
+	return tbl.Render(w)
+}

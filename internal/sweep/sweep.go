@@ -247,6 +247,7 @@ func Run(cfg Config) (*Result, error) {
 		tick := cfg.progressTick(len(vals))
 		results, err := parallel.Map(len(vals), popts, func(i int) (*core.Result, error) {
 			defer tick()
+			defer cfg.Metrics.SpanStart("sweep_point")()
 			v := vals[i]
 			model, mcfg, err := cfg.pointModel(v)
 			if err != nil {
@@ -358,6 +359,7 @@ func (cfg Config) runTrials(vals []float64, popts parallel.Options) ([]Point, er
 	tick := cfg.progressTick(len(vals) * trials)
 	results, err := parallel.Map(len(vals)*trials, popts, func(t int) (*core.Result, error) {
 		defer tick()
+		defer cfg.Metrics.SpanStart("sweep_point")()
 		p := t / trials
 		v := vals[p]
 		model, mcfg, err := cfg.pointModel(v)
@@ -410,6 +412,7 @@ func (cfg Config) runBatchedTrials(vals []float64, progs []pointProg, popts para
 	tick := cfg.progressTick(len(vals) * trials)
 	batches, err := parallel.Map(len(vals)*chunks, popts, func(b int) ([]*core.Result, error) {
 		p := b / chunks
+		defer cfg.Metrics.SpanStart("sweep_point")()
 		lo := (b % chunks) * lanes
 		n := lanes
 		if lo+n > trials {

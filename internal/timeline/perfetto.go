@@ -1,0 +1,396 @@
+package timeline
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"mpgraph/internal/core"
+	"mpgraph/internal/obsv"
+)
+
+// Chrome trace-event / Perfetto export. The output is the JSON object
+// format ({"traceEvents": [...]}) with duration slices as balanced B/E
+// pairs, message and critical-path edges as s/f flow events, windowed
+// metrics as C counter tracks, and (optionally) engine self-spans as a
+// second process group. Events are emitted one per line in a fixed
+// order derived only from the timeline's content, so the same replay
+// always produces byte-identical output — the golden test pins this
+// across the streaming, compiled, and batched engines.
+//
+// Timestamps on the simulated-rank process (pid 1) are in simulated
+// cycles, not microseconds; viewers render them fine, the unit label is
+// just nominal. Engine self-spans (pid 2) are wall-clock microseconds.
+
+// Process/track layout of the exported trace.
+const (
+	pidRanks  = 1 // simulated ranks: tid = rank
+	pidEngine = 2 // engine self-spans: tid = concurrency lane
+
+	catCompute  = "compute"
+	catOp       = "op"
+	catWait     = "wait"
+	catDataflow = "dataflow"
+	catCritpath = "critpath"
+)
+
+// maxWindows bounds the counter sampling so a tiny -timeline-window on
+// a long trace cannot explode the export.
+const maxWindows = 1_000_000
+
+// ExportOptions tunes WriteJSON.
+type ExportOptions struct {
+	// Window is the counter-sampling window in cycles; when not
+	// positive the span is split into about 60 windows.
+	Window float64
+	// Ranks restricts which tracks are exported (nil = all). Counter
+	// tracks always aggregate over every rank regardless.
+	Ranks []int
+	// CritPath, when non-nil, adds flow arrows along the recorded
+	// critical path (cross-rank steps only; same-rank steps are
+	// contiguous on the track already).
+	CritPath *core.CriticalPath
+	// Spans, when non-nil, adds the engine self-span process. Span
+	// times are wall-clock, so deterministic output requires leaving
+	// this nil.
+	Spans []obsv.Span
+}
+
+// traceEvent is one trace-event JSON object. Field order is fixed by
+// the struct, keeping the export byte-stable.
+type traceEvent struct {
+	Name string         `json:"name,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type eventWriter struct {
+	w     *bufio.Writer
+	first bool
+	err   error
+}
+
+func (ew *eventWriter) emit(e traceEvent) {
+	if ew.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		ew.err = err
+		return
+	}
+	if ew.first {
+		ew.first = false
+	} else {
+		ew.w.WriteString(",\n") //nolint:errcheck
+	}
+	_, ew.err = ew.w.Write(b)
+}
+
+// WriteJSON exports the timeline as Chrome trace-event JSON. See the
+// package comment for layout and doc/TIMELINE.md for how to open it.
+func (t *Timeline) WriteJSON(w io.Writer, opts ExportOptions) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	ew := &eventWriter{w: bw, first: true}
+
+	sel := opts.Ranks
+	exported := make(map[int]bool)
+	ew.emit(traceEvent{Name: "process_name", Ph: "M", Pid: pidRanks, Args: map[string]any{"name": "simulated ranks"}})
+	for r, evs := range t.Ranks {
+		if sel != nil && !containsInt(sel, r) {
+			continue
+		}
+		if len(evs) == 0 {
+			continue
+		}
+		exported[r] = true
+		ew.emit(traceEvent{Name: "thread_name", Ph: "M", Pid: pidRanks, Tid: r, Args: map[string]any{"name": fmt.Sprintf("rank %d", r)}})
+		ew.emit(traceEvent{Name: "thread_sort_index", Ph: "M", Pid: pidRanks, Tid: r, Args: map[string]any{"sort_index": r}})
+	}
+
+	// Per-rank slices: compute gap, execution, wait — balanced B/E
+	// pairs in track order (segments tile, so pairs are ts-ordered).
+	for r, evs := range t.Ranks {
+		if !exported[r] {
+			continue
+		}
+		prevEnd := math.Inf(-1)
+		started := false
+		for i := range evs {
+			e := &evs[i]
+			if started && e.Start > prevEnd {
+				ew.emit(traceEvent{Name: "compute", Cat: catCompute, Ph: "B", Ts: prevEnd, Pid: pidRanks, Tid: r})
+				ew.emit(traceEvent{Ph: "E", Ts: e.Start, Pid: pidRanks, Tid: r})
+			}
+			if e.WaitStart > e.Start {
+				ew.emit(traceEvent{Name: e.Kind.String(), Cat: catOp, Ph: "B", Ts: e.Start, Pid: pidRanks, Tid: r})
+				ew.emit(traceEvent{Ph: "E", Ts: e.WaitStart, Pid: pidRanks, Tid: r})
+			}
+			if e.End > e.WaitStart {
+				ew.emit(traceEvent{Name: "wait:" + e.State.String(), Cat: catWait, Ph: "B", Ts: e.WaitStart, Pid: pidRanks, Tid: r})
+				ew.emit(traceEvent{Ph: "E", Ts: e.End, Pid: pidRanks, Tid: r})
+			}
+			prevEnd = e.End
+			started = true
+		}
+	}
+
+	// Message flows, sorted by destination (unique per completion) so
+	// the order does not depend on cross-rank arrival interleaving.
+	flows := append([]Flow(nil), t.Flows...)
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].DstRank != flows[j].DstRank {
+			return flows[i].DstRank < flows[j].DstRank
+		}
+		return flows[i].DstEvent < flows[j].DstEvent
+	})
+	var id int64
+	for _, f := range flows {
+		if !exported[f.SrcRank] || !exported[f.DstRank] {
+			continue
+		}
+		src := &t.Ranks[f.SrcRank][f.SrcEvent]
+		dst := &t.Ranks[f.DstRank][f.DstEvent]
+		id++
+		ew.emit(traceEvent{Name: "msg", Cat: catDataflow, Ph: "s", Ts: src.Start, Pid: pidRanks, Tid: f.SrcRank, ID: id})
+		ew.emit(traceEvent{Name: "msg", Cat: catDataflow, Ph: "f", Ts: dst.End, Pid: pidRanks, Tid: f.DstRank, ID: id, BP: "e"})
+	}
+
+	// Critical-path flows: one arrow per cross-rank step pair.
+	if cp := opts.CritPath; cp != nil {
+		var cid int64
+		for i := 1; i < len(cp.Steps); i++ {
+			a, b := cp.Steps[i-1], cp.Steps[i]
+			if a.Node.Rank == b.Node.Rank {
+				continue
+			}
+			if !exported[a.Node.Rank] || !exported[b.Node.Rank] {
+				continue
+			}
+			if !t.hasEvent(a.Node.Rank, a.Node.Event) || !t.hasEvent(b.Node.Rank, b.Node.Event) {
+				continue
+			}
+			cid++
+			ew.emit(traceEvent{Name: "critpath", Cat: catCritpath, Ph: "s", Ts: t.nodeTime(a.Node), Pid: pidRanks, Tid: a.Node.Rank, ID: cid})
+			ew.emit(traceEvent{Name: "critpath", Cat: catCritpath, Ph: "f", Ts: t.nodeTime(b.Node), Pid: pidRanks, Tid: b.Node.Rank, ID: cid, BP: "e"})
+		}
+	}
+
+	// Windowed metric counters, aggregated over every rank.
+	wins, w0, wsize, err := t.WindowMetrics(opts.Window)
+	if err != nil {
+		return err
+	}
+	for i, m := range wins {
+		ts := w0 + float64(i)*wsize
+		ew.emit(traceEvent{Name: "parallel_efficiency", Ph: "C", Ts: ts, Pid: pidRanks, Args: map[string]any{"value": m.ParallelEfficiency}})
+		ew.emit(traceEvent{Name: "comm_fraction", Ph: "C", Ts: ts, Pid: pidRanks, Args: map[string]any{"value": m.CommFraction}})
+		ew.emit(traceEvent{Name: "load_balance", Ph: "C", Ts: ts, Pid: pidRanks, Args: map[string]any{"value": m.LoadBalance}})
+	}
+
+	if opts.Spans != nil {
+		emitSpans(ew, opts.Spans)
+	}
+
+	if ew.err != nil {
+		return ew.err
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// nodeTime is the track time of a critical-path node: the event's
+// perturbed start for a start subevent, its end for an end subevent.
+func (t *Timeline) nodeTime(n core.NodeRef) float64 {
+	e := &t.Ranks[n.Rank][n.Event]
+	if n.End {
+		return e.End
+	}
+	return e.Start
+}
+
+// WindowMetrics splits the timeline's span into fixed windows and
+// computes the standard time-resolved metrics per window over all
+// ranks: parallel efficiency (compute time / total rank-time),
+// communication fraction (communication + wait time / total rank-time)
+// and load balance (mean/max of per-rank compute time; 1 = balanced).
+// window <= 0 splits the span into about 60 windows. Returns the
+// windows plus the grid origin and width.
+func (t *Timeline) WindowMetrics(window float64) ([]WindowMetric, float64, float64, error) {
+	lo, hi, ok := t.Span(nil)
+	if !ok || !(hi > lo) {
+		return nil, 0, 0, nil
+	}
+	if window <= 0 {
+		window = math.Ceil((hi - lo) / 60)
+		if window < 1 {
+			window = 1
+		}
+	}
+	nwin := int(math.Ceil((hi - lo) / window))
+	if nwin < 1 {
+		nwin = 1
+	}
+	if nwin > maxWindows {
+		return nil, 0, 0, fmt.Errorf("timeline: window %g over span %g yields %d windows (max %d)", window, hi-lo, nwin, maxWindows)
+	}
+	n := len(t.Ranks)
+	compute := make([]float64, nwin*n) // window-major per-rank compute time
+	comm := make([]float64, nwin)      // communication + wait, summed over ranks
+	accumulate := func(rank int, segLo, segHi float64, isComm bool) {
+		if !(segHi > segLo) {
+			return
+		}
+		first := int((segLo - lo) / window)
+		if first < 0 {
+			first = 0
+		}
+		for wi := first; wi < nwin; wi++ {
+			wLo := lo + float64(wi)*window
+			if !(wLo < segHi) {
+				break
+			}
+			wHi := wLo + window
+			ov := math.Min(segHi, wHi) - math.Max(segLo, wLo)
+			if ov > 0 {
+				if isComm {
+					comm[wi] += ov
+				} else {
+					compute[wi*n+rank] += ov
+				}
+			}
+		}
+	}
+	for r, evs := range t.Ranks {
+		prevEnd := 0.0
+		started := false
+		for i := range evs {
+			e := &evs[i]
+			if started {
+				accumulate(r, prevEnd, e.Start, false) // compute gap
+			}
+			isComm := e.Kind.IsPointToPoint() || e.Kind.IsCompletion() || e.Kind.IsCollective()
+			accumulate(r, e.Start, e.WaitStart, isComm)
+			accumulate(r, e.WaitStart, e.End, true) // waits always count as communication
+			prevEnd = e.End
+			started = true
+		}
+	}
+	out := make([]WindowMetric, nwin)
+	for wi := 0; wi < nwin; wi++ {
+		var sum, max float64
+		for r := 0; r < n; r++ {
+			v := compute[wi*n+r]
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		denom := float64(n) * window
+		m := &out[wi]
+		m.ParallelEfficiency = sum / denom
+		m.CommFraction = comm[wi] / denom
+		m.LoadBalance = 1.0
+		if max > 0 {
+			m.LoadBalance = sum / float64(n) / max
+		}
+	}
+	return out, lo, window, nil
+}
+
+// WindowMetric is one counter window's aggregate.
+type WindowMetric struct {
+	ParallelEfficiency float64
+	CommFraction       float64
+	LoadBalance        float64
+}
+
+// emitSpans renders engine self-spans as a second process: spans are
+// packed greedily onto concurrency lanes (a span goes to the first
+// lane free at its start), one thread per lane, timestamps converted
+// from wall-clock nanoseconds to microseconds.
+func emitSpans(ew *eventWriter, spans []obsv.Span) {
+	ordered := append([]obsv.Span(nil), spans...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Start != ordered[j].Start {
+			return ordered[i].Start < ordered[j].Start
+		}
+		if ordered[i].End != ordered[j].End {
+			return ordered[i].End < ordered[j].End
+		}
+		return ordered[i].Name < ordered[j].Name
+	})
+	var laneEnd []int64
+	lanes := make([]int, len(ordered))
+	for i, s := range ordered {
+		lane := -1
+		for l, end := range laneEnd {
+			if end <= s.Start {
+				lane = l
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+		}
+		laneEnd[lane] = s.End
+		lanes[i] = lane
+	}
+	ew.emit(traceEvent{Name: "process_name", Ph: "M", Pid: pidEngine, Args: map[string]any{"name": "engine"}})
+	for l := range laneEnd {
+		ew.emit(traceEvent{Name: "thread_name", Ph: "M", Pid: pidEngine, Tid: l, Args: map[string]any{"name": fmt.Sprintf("lane %d", l)}})
+		ew.emit(traceEvent{Name: "thread_sort_index", Ph: "M", Pid: pidEngine, Tid: l, Args: map[string]any{"sort_index": l}})
+	}
+	for i, s := range ordered {
+		start := float64(s.Start) / 1e3
+		end := float64(s.End) / 1e3
+		if end < start {
+			end = start
+		}
+		ew.emit(traceEvent{Name: s.Name, Cat: "engine", Ph: "B", Ts: start, Pid: pidEngine, Tid: lanes[i]})
+		ew.emit(traceEvent{Ph: "E", Ts: end, Pid: pidEngine, Tid: lanes[i]})
+	}
+}
+
+// WriteSpansJSON exports engine self-spans alone as a trace-event
+// document — the -selftrace output of CLIs that have no simulated
+// timeline to attach the spans to.
+func WriteSpansJSON(w io.Writer, spans []obsv.Span) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	ew := &eventWriter{w: bw, first: true}
+	emitSpans(ew, spans)
+	if ew.err != nil {
+		return ew.err
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

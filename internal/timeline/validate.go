@@ -1,0 +1,133 @@
+package timeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Validate checks an exported trace-event JSON document against the
+// subset of the Chrome trace-event contract the exporter promises:
+// well-formed JSON, only known phase types, balanced B/E pairs with
+// non-decreasing begin timestamps per (pid, tid) track, flow starts
+// paired with flow finishes that do not travel backward in time, and
+// numeric counter values. CI runs this over the smoke timeline; the
+// verify campaign runs it over every scenario's export. Returns one
+// message per violation.
+func Validate(data []byte) []string {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return []string{fmt.Sprintf("document does not parse: %v", err)}
+	}
+	if doc.TraceEvents == nil {
+		return []string{"document has no traceEvents array"}
+	}
+
+	type track struct{ pid, tid int }
+	type open struct {
+		name string
+		ts   float64
+	}
+	type flowKey struct {
+		cat string
+		id  int64
+	}
+	stacks := make(map[track][]open)
+	lastBegin := make(map[track]float64)
+	begun := make(map[track]bool)
+	flowStart := make(map[flowKey]float64)
+	flowDone := make(map[flowKey]bool)
+
+	var bad []string
+	report := func(i int, format string, args ...any) {
+		bad = append(bad, fmt.Sprintf("event %d: %s", i, fmt.Sprintf(format, args...)))
+	}
+
+	for i, raw := range doc.TraceEvents {
+		var e struct {
+			Name string          `json:"name"`
+			Cat  string          `json:"cat"`
+			Ph   string          `json:"ph"`
+			Ts   float64         `json:"ts"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			ID   int64           `json:"id"`
+			Args json.RawMessage `json:"args"`
+		}
+		if err := json.Unmarshal(raw, &e); err != nil {
+			report(i, "does not parse: %v", err)
+			continue
+		}
+		tr := track{e.Pid, e.Tid}
+		switch e.Ph {
+		case "M":
+			// Metadata carries no timing.
+		case "B":
+			if begun[tr] && e.Ts < lastBegin[tr] {
+				report(i, "track %d/%d: B %q at %g before previous begin %g", e.Pid, e.Tid, e.Name, e.Ts, lastBegin[tr])
+			}
+			lastBegin[tr] = e.Ts
+			begun[tr] = true
+			stacks[tr] = append(stacks[tr], open{name: e.Name, ts: e.Ts})
+		case "E":
+			st := stacks[tr]
+			if len(st) == 0 {
+				report(i, "track %d/%d: E with no open B", e.Pid, e.Tid)
+				continue
+			}
+			top := st[len(st)-1]
+			stacks[tr] = st[:len(st)-1]
+			if e.Ts < top.ts {
+				report(i, "track %d/%d: slice %q ends at %g before it begins at %g", e.Pid, e.Tid, top.name, e.Ts, top.ts)
+			}
+		case "s":
+			k := flowKey{e.Cat, e.ID}
+			if _, dup := flowStart[k]; dup {
+				report(i, "flow %s/%d: duplicate start", e.Cat, e.ID)
+			}
+			flowStart[k] = e.Ts
+		case "f":
+			k := flowKey{e.Cat, e.ID}
+			start, ok := flowStart[k]
+			if !ok {
+				report(i, "flow %s/%d: finish with no start", e.Cat, e.ID)
+				continue
+			}
+			if flowDone[k] {
+				report(i, "flow %s/%d: duplicate finish", e.Cat, e.ID)
+			}
+			flowDone[k] = true
+			if e.Ts < start {
+				report(i, "flow %s/%d: finishes at %g before it starts at %g", e.Cat, e.ID, e.Ts, start)
+			}
+		case "C":
+			var args map[string]json.Number
+			dec := json.NewDecoder(bytes.NewReader(e.Args))
+			dec.UseNumber()
+			if e.Args == nil || dec.Decode(&args) != nil || len(args) == 0 {
+				report(i, "counter %q has no numeric args", e.Name)
+			}
+		default:
+			report(i, "unknown phase %q", e.Ph)
+		}
+	}
+
+	// The end-of-document checks walk maps; sort their messages so the
+	// report is stable.
+	var tail []string
+	for tr, st := range stacks {
+		if len(st) > 0 {
+			tail = append(tail, fmt.Sprintf("track %d/%d: %d unclosed B slices (first %q at %g)", tr.pid, tr.tid, len(st), st[0].name, st[0].ts))
+		}
+	}
+	for k, start := range flowStart {
+		if !flowDone[k] {
+			tail = append(tail, fmt.Sprintf("flow %s/%d: start at %g never finishes", k.cat, k.id, start))
+		}
+	}
+	sort.Strings(tail)
+	return append(bad, tail...)
+}

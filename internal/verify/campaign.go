@@ -7,15 +7,16 @@ import (
 	"path/filepath"
 
 	"mpgraph/internal/dist"
+	"mpgraph/internal/obsv"
 	"mpgraph/internal/parallel"
 )
 
 // CheckScenario runs every check the harness has against one
 // scenario: the structural linter over its generated trace, the
 // differential graph-vs-DES comparison, the metamorphic property
-// suite, and the compiled-replay and lane-batched-replay equivalence
-// checks. The returned
-// strings are check failures; an empty slice means
+// suite, the compiled-replay and lane-batched-replay equivalence
+// checks, and the timeline wait-state decomposition invariant. The
+// returned strings are check failures; an empty slice means
 // the scenario passes. Infrastructure errors (the scenario cannot even
 // be traced) are reported as failures too — a generated scenario that
 // crashes an engine is a finding, not an excuse.
@@ -58,6 +59,14 @@ func CheckScenario(sc *Scenario) []string {
 	} else {
 		for _, f := range bf {
 			failures = append(failures, "compiled-batch: "+f)
+		}
+	}
+	tf, err := TimelineInvariant(sc)
+	if err != nil {
+		failures = append(failures, fmt.Sprintf("timeline: %v", err))
+	} else {
+		for _, f := range tf {
+			failures = append(failures, "timeline: "+f)
 		}
 	}
 	return failures
@@ -117,6 +126,10 @@ type CampaignOptions struct {
 	// ReproDir, when non-empty, receives one reproducer JSON per
 	// failing scenario.
 	ReproDir string
+	// Metrics, when non-nil, records one engine self-profiling span
+	// per checked scenario ("verify_scenario") so long campaigns show
+	// up on a -selftrace timeline. Nil disables recording.
+	Metrics *obsv.Registry
 }
 
 // Campaign generates and checks N random scenarios across a worker
@@ -128,6 +141,7 @@ func Campaign(opts CampaignOptions) (*Report, error) {
 		opts.N = 1
 	}
 	results, err := parallel.Map(opts.N, parallel.Options{Workers: opts.Workers}, func(i int) (ScenarioResult, error) {
+		defer opts.Metrics.SpanStart("verify_scenario")()
 		rng := dist.NewRNG(parallel.TaskSeed(opts.Seed, i))
 		sc := Generate(rng)
 		res := ScenarioResult{Index: i, Scenario: sc, Failures: CheckScenario(sc)}

@@ -1,0 +1,95 @@
+package verify
+
+import (
+	"bytes"
+	"fmt"
+
+	"mpgraph/internal/core"
+	"mpgraph/internal/timeline"
+	"mpgraph/internal/trace"
+)
+
+// TimelineInvariant asserts the wait-state decomposition is exact for
+// the scenario under the full equivalence model grid: every model is
+// replayed with interval recording on, and timeline.Check must confirm
+// that each rank's interval segments tile from first start to the
+// rank's completion time bit-for-bit, that per-rank wait totals equal
+// RankResult.DelayInduced bitwise, and that the recorded critical path
+// lies on the timeline. For the first grid cell the exported Perfetto
+// JSON is additionally schema-validated and pinned byte-identical
+// between the compiled and the streaming engine (the instrumentation
+// must observe, never perturb — and must observe the same thing from
+// both engines).
+func TimelineInvariant(sc *Scenario) ([]string, error) {
+	traces, err := sc.BuildMemTraces()
+	if err != nil {
+		return nil, err
+	}
+	cset, err := trace.SetFromMem(traces)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := core.Compile(cset, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+
+	models, labels := equivalenceGrid(sc)
+	var failures []string
+	for i, trial := range models {
+		tl := timeline.New(prog.NRanks())
+		res, err := core.ReplayCompiled(prog, trial, core.Options{
+			RecordCritPath: true,
+			Interval:       tl.Record,
+		})
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: compiled replay: %v", labels[i], err))
+			continue
+		}
+		for _, msg := range tl.Check(res) {
+			failures = append(failures, fmt.Sprintf("%s: %s", labels[i], msg))
+		}
+		if i > 0 {
+			continue
+		}
+
+		// First cell only: the export must be schema-clean and engine-
+		// independent. The streaming analyzer replays the same model with
+		// the same recorder; both timelines must serialize identically.
+		var compiledJSON bytes.Buffer
+		if err := tl.WriteJSON(&compiledJSON, timeline.ExportOptions{CritPath: res.CritPath}); err != nil {
+			failures = append(failures, fmt.Sprintf("%s: export: %v", labels[i], err))
+			continue
+		}
+		for _, msg := range timeline.Validate(compiledJSON.Bytes()) {
+			failures = append(failures, fmt.Sprintf("%s: exported JSON: %s", labels[i], msg))
+		}
+		sset, err := trace.SetFromMem(traces)
+		if err != nil {
+			return nil, err
+		}
+		stl := timeline.New(prog.NRanks())
+		sres, err := core.Analyze(sset, trial, core.Options{
+			RecordCritPath: true,
+			Interval:       stl.Record,
+		})
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: streaming analyze: %v", labels[i], err))
+			continue
+		}
+		for _, msg := range stl.Check(sres) {
+			failures = append(failures, fmt.Sprintf("%s: streaming: %s", labels[i], msg))
+		}
+		var streamingJSON bytes.Buffer
+		if err := stl.WriteJSON(&streamingJSON, timeline.ExportOptions{CritPath: sres.CritPath}); err != nil {
+			failures = append(failures, fmt.Sprintf("%s: streaming export: %v", labels[i], err))
+			continue
+		}
+		if !bytes.Equal(compiledJSON.Bytes(), streamingJSON.Bytes()) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: exported timeline differs between engines (%d vs %d bytes)",
+				labels[i], compiledJSON.Len(), streamingJSON.Len()))
+		}
+	}
+	return failures, nil
+}
