@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpgraph/internal/dist"
+)
+
+// TestGoldenProvenance pins the sampler version this directory's
+// goldens were generated with: the checked-in testdata/sampler_version
+// note must match the live dist.SamplerVersion. A sampler algorithm
+// change bumps the version, the goldens encode the old random stream,
+// and this test fails until they are regenerated — run with -update to
+// rewrite both the goldens and the note.
+func TestGoldenProvenance(t *testing.T) {
+	path := filepath.Join("testdata", "sampler_version")
+	if *update {
+		note := "# Sampler provenance: the goldens in this directory were generated\n" +
+			"# with the internal/dist sampling algorithms named below. Regenerate\n" +
+			"# everything with `go test -update` when dist.SamplerVersion changes.\n" +
+			dist.SamplerVersion + "\n"
+		if err := os.WriteFile(path, []byte(note), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing sampler provenance note (regenerate with -update): %v", err)
+	}
+	got := ""
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		got = line
+		break
+	}
+	if got != dist.SamplerVersion {
+		t.Fatalf("goldens were generated with sampler %q but the live sampler is %q; regenerate with -update",
+			got, dist.SamplerVersion)
+	}
+}

@@ -14,6 +14,14 @@
 // on a reference model, so CI can use it as an equivalence gate:
 //
 //	mpg-bench -replay -replay-ranks 64 -out BENCH_replay.json
+//
+// With -sampler it benchmarks the distribution samplers themselves —
+// the ziggurat fast paths against the retained exact reference
+// algorithms, and scalar draws against the lane-vectorized batch
+// draws — behind in-band KS and bit-identity gates, and writes
+// BENCH_sampler.json:
+//
+//	mpg-bench -sampler -out BENCH_sampler.json
 package main
 
 import (
@@ -45,6 +53,8 @@ func run(args []string) error {
 	bwBytes := fs.Int64("bandwidth-bytes", 1<<20, "bandwidth probe message size")
 	bwSamples := fs.Int("bandwidth-samples", 50, "bandwidth probe sample count")
 	replay := fs.Bool("replay", false, "benchmark the replay engines instead of probing the platform")
+	sampler := fs.Bool("sampler", false, "benchmark the distribution samplers (ziggurat vs exact reference, scalar vs lane-batched) and write BENCH_sampler.json")
+	samplerDraws := fs.Int("sampler-draws", 2_000_000, "draws per sampler benchmark case")
 	replayBatch := fs.Bool("replay-batch", false, "with -replay (implied): also sweep the lane-batched replay engine over K=1,4,16,64, gated on batch-vs-single equivalence")
 	replayWorkload := fs.String("replay-workload", "stencil1d", "workload for the replay benchmark")
 	replayRanks := fs.Int("replay-ranks", 64, "world size for the replay benchmark")
@@ -55,6 +65,13 @@ func run(args []string) error {
 	replaySeed := fs.Uint64("replay-seed", 1, "trace and model seed for the replay benchmark")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sampler {
+		path := *out
+		if path == "" {
+			path = "BENCH_sampler.json"
+		}
+		return runSampler(samplerConfig{draws: *samplerDraws, out: path})
 	}
 	if *replay || *replayBatch {
 		path := *out

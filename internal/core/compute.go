@@ -380,34 +380,6 @@ func resolveExplicitKernel(smp *sampler, kind trace.Kind, bytes int64, root int3
 	return lMax
 }
 
-// matchLanesKernel is the batched form of the opMatch step: for each
-// lane k it loads lane k's posted subevents, draws the four transfer
-// deltas from lane k's own sampler in exactly the single-replay order
-// (λ1, per-byte, λ2, receiver-side noise — see ReplayCompiled's
-// opMatch case), and resolves the transfer completion. ms holds the K
-// lanes of one compiled transfer; sendD/sendAttr and recvD/recvAttr
-// are the K-lane spans of the two posting subevents in the batch
-// state's lane-strided start arrays. Because every lane draws only
-// from its own sampler hierarchy, interleaving lanes here preserves
-// each lane's draw sequence exactly.
-//
-//mpg:hotpath
-func matchLanesKernel(smps []sampler, ms []xfer, sendD []float64, sendAttr []Attribution, recvD []float64, recvAttr []Attribution, bytes int64, recvRank int) {
-	for k := range ms {
-		m := &ms[k]
-		m.sendStartD = sendD[k]
-		m.sendAttr = sendAttr[k]
-		m.recvPostD = recvD[k]
-		m.recvAttr = recvAttr[k]
-		smp := &smps[k]
-		m.dLat1 = smp.latency()
-		m.dPerByte = smp.perByte(bytes)
-		m.dLat2 = smp.latency()
-		m.dOS2 = smp.osNoise(recvRank)
-		m.resolveCompletion()
-	}
-}
-
 // orderViolationWarning is the §4.3 clamp warning, shared by both
 // engines so the warning strings compare equal.
 func orderViolationWarning(res *Result) {

@@ -135,42 +135,133 @@ func TestStridedKernelAllocs(t *testing.T) {
 	}
 }
 
-// TestMatchLanesKernelAllocs pins the batched opMatch fan-out at
-// zero: K lanes of posts, draws, and completion resolution must touch
-// only the preallocated lane-strided buffers.
-func TestMatchLanesKernelAllocs(t *testing.T) {
-	const K = 8
-	smps := make([]sampler, K)
-	rng := make([]dist.RNG, K*3)
+// drawTestBatchState hand-builds a minimal K-lane batch state over n
+// ranks (stream-major rng layout, seeded, plan built) without needing
+// a Compiled program, so the draw kernels can be pinned in isolation.
+func drawTestBatchState(t *testing.T, models []*Model, n int) *batchState {
+	t.Helper()
+	K := len(models)
+	st := &batchState{
+		K:          K,
+		smps:       make([]sampler, K),
+		rng:        make([]dist.RNG, K*(n+1)),
+		forkLabels: replayForkLabels(n),
+		noiseB:     make([]dist.BatchSampler, n),
+		noiseZero:  make([]bool, n),
+		laneBuf:    make([]float64, 4*K),
+	}
 	for k := 0; k < K; k++ {
-		smps[k].model = &Model{
+		st.smps[k].model = models[k]
+		st.smps[k].msgRNG = &st.rng[k]
+		st.smps[k].rankRNG = make([]*dist.RNG, n)
+		for r := 0; r < n; r++ {
+			st.smps[k].rankRNG[r] = &st.rng[(1+r)*K+k]
+		}
+		dist.ForkHierarchyIntoStride(models[k].Seed, st.forkLabels, st.rng[k:], K)
+	}
+	st.planDraws(models)
+	return st
+}
+
+// TestMatchLanesAllocs pins the batched opMatch fan-out at zero: K
+// lanes of posts, column-wise draws, and completion resolution must
+// touch only the preallocated lane-strided buffers — on both the
+// vectorized path (all lanes share one batchable distribution) and the
+// scalar fallback (heterogeneous models).
+func TestMatchLanesAllocs(t *testing.T) {
+	const K = 8
+	shared := make([]*Model, K)
+	mixed := make([]*Model, K)
+	for k := 0; k < K; k++ {
+		shared[k] = &Model{
 			Seed:       uint64(100 + k),
 			OSNoise:    dist.Exponential{MeanValue: 40},
 			MsgLatency: dist.Exponential{MeanValue: 150},
 			PerByte:    dist.Constant{C: 0.02},
 		}
-		smps[k].msgRNG = &rng[k*3]
-		smps[k].rankRNG = make([]*dist.RNG, 2)
-		for r := 0; r < 2; r++ {
-			smps[k].rankRNG[r] = &rng[k*3+1+r]
+		// Per-lane latency means defeat the shared-value plan, forcing
+		// the per-lane scalar draw path.
+		mixed[k] = &Model{
+			Seed:       uint64(200 + k),
+			OSNoise:    dist.Exponential{MeanValue: 40},
+			MsgLatency: dist.Exponential{MeanValue: float64(150 + k)},
+			PerByte:    dist.Constant{C: 0.02},
 		}
-		dist.ForkHierarchyInto(uint64(100+k), replayForkLabels(2), rng[k*3:(k+1)*3])
 	}
-	ms := make([]xfer, K)
-	sendD := make([]float64, K)
-	sendA := make([]Attribution, K)
-	recvD := make([]float64, K)
-	recvA := make([]Attribution, K)
-	for k := range sendD {
-		sendD[k] = float64(k * 7)
-		recvD[k] = float64(k * 11)
+	for _, tc := range []struct {
+		name   string
+		models []*Model
+	}{{"vectorized", shared}, {"scalar-fallback", mixed}} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			st := drawTestBatchState(t, tc.models, 2)
+			ms := make([]xfer, K)
+			sendD := make([]float64, K)
+			sendA := make([]Attribution, K)
+			recvD := make([]float64, K)
+			recvA := make([]Attribution, K)
+			for k := range sendD {
+				sendD[k] = float64(k * 7)
+				recvD[k] = float64(k * 11)
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				st.matchLanes(ms, sendD, sendA, recvD, recvA, 4096, 1)
+			})
+			if allocs != 0 {
+				t.Errorf("matchLanes allocates %.1f objects/call; want 0", allocs)
+			}
+		})
 	}
-	allocs := testing.AllocsPerRun(50, func() {
-		matchLanesKernel(smps, ms, sendD, sendA, recvD, recvA, 4096, 1)
+}
+
+// TestBatchDrawLanesAllocs pins each column-wise draw kernel at zero
+// allocations, including the interface-to-interface plan dispatch.
+func TestBatchDrawLanesAllocs(t *testing.T) {
+	const K = 8
+	models := make([]*Model, K)
+	for k := 0; k < K; k++ {
+		models[k] = &Model{
+			Seed:       uint64(300 + k),
+			OSNoise:    dist.Normal{Mu: 50, Sigma: 20},
+			MsgLatency: dist.Exponential{MeanValue: 150},
+			PerByte:    dist.Uniform{Low: 0.01, High: 0.03},
+		}
+	}
+	st := drawTestBatchState(t, models, 2)
+	dst := make([]float64, K)
+	allocs := testing.AllocsPerRun(100, func() {
+		st.drawNoiseLanes(1, dst)
+		st.drawComputeNoiseLanes(0, 512, dst)
+		st.drawLatencyLanes(dst)
+		st.drawPerByteLanes(4096, dst)
 	})
 	if allocs != 0 {
-		t.Errorf("matchLanesKernel allocates %.1f objects/call; want 0", allocs)
+		t.Errorf("batch draw kernels allocate %.1f objects/iteration; want 0", allocs)
 	}
+}
+
+// TestSampleFastAllocs pins the devirtualized scalar draw helper: the
+// type switch must not box, and the ziggurat draws must stay on the
+// stack for every devirtualized family.
+func TestSampleFastAllocs(t *testing.T) {
+	r := dist.NewRNG(11)
+	dists := []dist.Distribution{
+		dist.Exponential{MeanValue: 100},
+		dist.Normal{Mu: 0, Sigma: 1},
+		dist.Uniform{Low: 0, High: 1},
+		dist.Constant{C: 3},
+		dist.LogNormal{Mu: 0, Sigma: 0.5}, // default branch
+	}
+	var sink float64
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, d := range dists {
+			sink += sampleFast(d, r)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("sampleFast allocates %.1f objects/iteration; want 0", allocs)
+	}
+	_ = sink
 }
 
 // TestBatchStateResetAllocs pins the pooled batch state's re-seed

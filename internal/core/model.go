@@ -325,6 +325,31 @@ func newSampler(m *Model, nranks int) *sampler {
 	return s
 }
 
+// sampleFast draws one value from d, devirtualizing the common
+// concrete distributions: the type switch lets the compiler emit
+// direct (inlinable) calls into the ziggurat fast path for the
+// families that dominate perturbation models, instead of an interface
+// dispatch per draw. Behavior is identical to d.Sample(r) for every
+// type — this is purely a call-overhead optimization, so streaming,
+// compiled, and batched engines all draw the same values whether or
+// not their call site went through the switch.
+//
+//mpg:hotpath
+func sampleFast(d dist.Distribution, r *dist.RNG) float64 {
+	switch v := d.(type) {
+	case dist.Exponential:
+		return v.Sample(r)
+	case dist.Constant:
+		return v.C
+	case dist.Normal:
+		return v.Sample(r)
+	case dist.Uniform:
+		return v.Sample(r)
+	default:
+		return d.Sample(r)
+	}
+}
+
 // clamp applies the non-negativity rule unless the model allows
 // negative deltas.
 func (s *sampler) clamp(v float64) float64 {
@@ -352,7 +377,13 @@ func (s *sampler) osNoise(rank int) float64 {
 		return 0
 	}
 	s.nNoise++
-	return s.clamp(d.Sample(s.rankRNG[rank]))
+	// Exponential is the common noise law; asserting it here inlines
+	// its Sample so the draw is one call (stdExp) deep instead of
+	// going through sampleFast's extra frame.
+	if e, ok := d.(dist.Exponential); ok {
+		return s.clamp(e.Sample(s.rankRNG[rank]))
+	}
+	return s.clamp(sampleFast(d, s.rankRNG[rank]))
 }
 
 // computeNoise samples the delta for a compute gap of w cycles; a
@@ -379,7 +410,7 @@ func (s *sampler) computeNoise(rank int, w int64) float64 {
 	var sum float64
 	s.nNoise += n
 	for i := int64(0); i < n; i++ {
-		sum += s.clamp(d.Sample(s.rankRNG[rank]))
+		sum += s.clamp(sampleFast(d, s.rankRNG[rank]))
 	}
 	if n < quanta {
 		sum *= float64(quanta) / float64(n)
@@ -395,7 +426,10 @@ func (s *sampler) latency() float64 {
 		return 0
 	}
 	s.nMsg++
-	return s.clamp(s.model.MsgLatency.Sample(s.msgRNG))
+	if e, ok := s.model.MsgLatency.(dist.Exponential); ok {
+		return s.clamp(e.Sample(s.msgRNG))
+	}
+	return s.clamp(sampleFast(s.model.MsgLatency, s.msgRNG))
 }
 
 // perByte samples the size-dependent message delta for a payload.
@@ -406,5 +440,8 @@ func (s *sampler) perByte(bytes int64) float64 {
 		return 0
 	}
 	s.nMsg++
-	return s.clamp(s.model.PerByte.Sample(s.msgRNG) * float64(bytes))
+	if c, ok := s.model.PerByte.(dist.Constant); ok {
+		return s.clamp(c.C * float64(bytes))
+	}
+	return s.clamp(sampleFast(s.model.PerByte, s.msgRNG) * float64(bytes))
 }

@@ -54,12 +54,39 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 		WindowHighWater: c.highWater,
 	}
 
+	// Per-replay draw specialization: when the model's laws are the
+	// common concrete families (exponential noise and latency with no
+	// per-rank overrides or quantization, constant per-byte), the op
+	// sites below draw inline — the ziggurat fast path is then the only
+	// call per draw, instead of threading every draw through the
+	// sampler wrappers' per-draw dispatch. Both paths consume identical
+	// RNG bits in identical order and keep identical draw counts, so
+	// specialization is invisible to the result.
+	smp := &st.smp
+	noiseExp, fastNoise := model.OSNoise.(dist.Exponential)
+	fastNoise = fastNoise && len(model.RankOSNoise) == 0 && model.NoiseQuantum <= 0
+	latExp, fastLat := model.MsgLatency.(dist.Exponential)
+	pbConst, fastPB := model.PerByte.(dist.Constant)
+	fastMatch := fastNoise && fastLat && fastPB
+	negOK := model.AllowNegative
+
 	for i := range c.ops {
 		o := &c.ops[i]
 		switch o.code {
 		case opBegin:
 			rank := int(o.rank)
-			delta := st.smp.computeNoise(rank, o.aux)
+			var delta float64
+			if fastNoise {
+				if o.aux > 0 {
+					smp.nNoise++
+					delta = noiseExp.Sample(smp.rankRNG[rank])
+					if delta < 0 && !negOK {
+						delta = 0
+					}
+				}
+			} else {
+				delta = smp.computeNoise(rank, o.aux)
+			}
 			sD := st.prevD[rank] + delta
 			sA := st.prevAttr[rank].addOwn(delta)
 			res.Ranks[rank].InjectedLocal += delta
@@ -93,10 +120,36 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 			m.recvPostD = st.startD[rgi]
 			m.recvAttr = st.startAttr[rgi]
 			// Same draw order as resolveMatch.
-			m.dLat1 = st.smp.latency()
-			m.dPerByte = st.smp.perByte(cm.bytes)
-			m.dLat2 = st.smp.latency()
-			m.dOS2 = st.smp.osNoise(int(cm.recvRank))
+			if fastMatch {
+				smp.nMsg += 2
+				v1 := latExp.Sample(smp.msgRNG)
+				if v1 < 0 && !negOK {
+					v1 = 0
+				}
+				var vb float64
+				if cm.bytes > 0 {
+					smp.nMsg++
+					vb = pbConst.C * float64(cm.bytes)
+					if vb < 0 && !negOK {
+						vb = 0
+					}
+				}
+				v2 := latExp.Sample(smp.msgRNG)
+				if v2 < 0 && !negOK {
+					v2 = 0
+				}
+				smp.nNoise++
+				os2 := noiseExp.Sample(smp.rankRNG[cm.recvRank])
+				if os2 < 0 && !negOK {
+					os2 = 0
+				}
+				m.dLat1, m.dPerByte, m.dLat2, m.dOS2 = v1, vb, v2, os2
+			} else {
+				m.dLat1 = st.smp.latency()
+				m.dPerByte = st.smp.perByte(cm.bytes)
+				m.dLat2 = st.smp.latency()
+				m.dOS2 = st.smp.osNoise(int(cm.recvRank))
+			}
 			m.resolveCompletion()
 
 		case opCollResolve:
@@ -123,13 +176,31 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 				endD, endAttr = sD, sA
 
 			case opEndLocal:
-				delta := st.smp.osNoise(rank)
+				var delta float64
+				if fastNoise {
+					smp.nNoise++
+					delta = noiseExp.Sample(smp.rankRNG[rank])
+					if delta < 0 && !negOK {
+						delta = 0
+					}
+				} else {
+					delta = smp.osNoise(rank)
+				}
 				rr.InjectedLocal += delta
 				endD, endAttr = combineLocalKernel(model.Propagation, sD, sA, delta, o.aux)
 
 			case opEndSend:
 				m := &st.msgs[o.arg]
-				dOS1 := st.smp.osNoise(rank)
+				var dOS1 float64
+				if fastNoise {
+					smp.nNoise++
+					dOS1 = noiseExp.Sample(smp.rankRNG[rank])
+					if dOS1 < 0 && !negOK {
+						dOS1 = 0
+					}
+				} else {
+					dOS1 = smp.osNoise(rank)
+				}
 				rr.InjectedLocal += dOS1
 				local, remote, localAttr, remoteAttr := sendCompletionKernel(
 					model.Propagation, sD, sA, dOS1, o.aux, m)

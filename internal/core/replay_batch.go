@@ -29,15 +29,15 @@ import (
 // DefaultReplayLanes is the lane width ReplayBatch callers use when
 // the user does not override it (-replay-lanes). Chosen from the
 // mpg-bench -replay-batch sweep over K ∈ {1,4,16,64} on the
-// BENCH_replay.json workload: K=16 is the measured knee — tape decode
-// and op dispatch amortize across lanes while each event's K-lane span
-// still fits a couple of cache lines, whereas K=64 regresses as the
-// lane-strided arrays outgrow cache. The headline win is bounded by
-// sampling cost, which is per-lane by the byte-identity contract
-// (every lane draws exactly what its standalone replay would), so on
-// sampling-heavy models the batch mainly buys one pooled state and one
-// tape walk per K trials rather than a large per-replay speedup; see
-// BENCH_replay.json's "batched" trajectory for the recorded numbers.
+// BENCH_replay.json workload: K=16 balances tape-decode amortization
+// against cache footprint (K=64 regresses as the lane-strided arrays
+// outgrow cache). Per-replay the batch no longer beats the scalar
+// compiled path — since the ziggurat/draw-specialization work
+// (DESIGN.md §8.2) the specialized scalar replay is slightly faster —
+// so the batch's value is structural: one pooled state, one walk, and
+// one task-dispatch per K trials (fewer, larger parallel tasks in
+// sweeps), with column-wise SampleInto draws over the SoA lane
+// layout; see BENCH_replay.json's "batched" trajectory for numbers.
 const DefaultReplayLanes = 16
 
 // PickReplayLanes resolves a lane-width setting against the number of
@@ -157,18 +157,25 @@ func ReplayBatch(c *Compiled, models []*Model, opts BatchOptions) ([]*Result, er
 		}
 	}
 
-	st.walk(c, res, recordCrit, opts.LaneTrajectory, opts.LaneInterval)
+	st.walk(c, recordCrit, opts.LaneTrajectory, opts.LaneInterval)
 
 	// Finalize each lane exactly as ReplayCompiled finalizes its one
-	// result; nothing here may reference pooled memory.
+	// result; nothing here may reference pooled memory. The walk's SoA
+	// accumulators are copied out by value, then the finalize-only
+	// fields filled in.
 	for k := 0; k < K; k++ {
 		r := res[k]
 		for rank := 0; rank < c.nranks; rank++ {
-			rr := &r.Ranks[rank]
-			rr.OrigEnd = c.origEnd[rank]
-			rr.FinalDelay = st.prevD[rank*K+k]
-			rr.Attr = st.prevAttr[rank*K+k]
+			acc := st.rankAcc[rank*K+k]
+			acc.Events = st.rankEvents[rank]
+			acc.OrigEnd = c.origEnd[rank]
+			acc.FinalDelay = st.prevD[rank*K+k]
+			acc.Attr = st.prevAttr[rank*K+k]
+			r.Ranks[rank] = acc
 		}
+		r.Events = st.events
+		r.OrderViolations = st.ordViol[k]
+		r.DelayStats = st.delayAcc[k]
 		if len(c.warnings) > 0 {
 			r.Warnings = make([]string, len(c.warnings), len(c.warnings)+1)
 			copy(r.Warnings, c.warnings)
@@ -223,13 +230,31 @@ func ReplayBatch(c *Compiled, models []*Model, opts BatchOptions) ([]*Result, er
 type batchState struct {
 	K int
 
-	// One full sampler hierarchy per lane. rng packs the generators in
-	// fork order per lane (messages, then ranks ascending — the same
-	// forkLabels order replayState uses); each sampler's pointers
-	// address its own lane's window of rng.
+	// One full sampler hierarchy per lane. rng packs the generators
+	// stream-major: stream i (fork order: messages, then ranks
+	// ascending — the same forkLabels order replayState uses) of lane k
+	// lives at rng[i*K+k], so one stream's K lane generators form a
+	// contiguous span that the column-wise dist.BatchSampler draws can
+	// walk directly. Each lane's sampler pointers address its own
+	// strided column.
 	smps       []sampler
 	rng        []dist.RNG
 	forkLabels []string
+
+	// Lane-vectorized draw plan, rebuilt per reset (planDraws): when
+	// every lane's model resolves the *same* distribution value at a
+	// draw site and that value is batchable, the site draws all K lanes
+	// with one SampleInto loop over the stream's contiguous generators
+	// instead of K interface-dispatched scalar draws. The *B fields
+	// hold the shared batch sampler (nil: fall back to scalar), the
+	// *Zero fields record that every lane resolves nil (pure zero
+	// fill, no RNG consumed — exactly like the scalar nil guard).
+	latB, pbB       dist.BatchSampler
+	latZero, pbZero bool
+	noiseB          []dist.BatchSampler // per rank
+	noiseZero       []bool              // per rank
+	noiseQZero      bool                // no lane uses quantized compute noise
+	laneBuf         []float64           // 4*K draw-column scratch for one op
 
 	// Lane-strided per-subevent delay state: subevent gi of lane k
 	// lives at gi*K+k (gi = evBase[rank]+event, as in replayState).
@@ -251,6 +276,25 @@ type batchState struct {
 	csc         collScratch
 
 	regions []RegionStats // region ri of lane k at ri*K+k
+
+	// Walk accumulators for per-Result totals, kept SoA so the fan
+	// loops touch contiguous scratch instead of chasing K heap Results:
+	// rank totals at rankAcc[rank*K+k] (only the walk-accumulated
+	// fields; the finalizer fills the rest), lane k's delay statistics
+	// at delayAcc[k], order violations at ordViol[k]. Event counts are
+	// lane-invariant — every lane visits every op — so the walk counts
+	// them once (events, rankEvents) and the finalizer fans them out.
+	rankAcc    []RankResult
+	delayAcc   []dist.Welford
+	ordViol    []int64
+	rankEvents []int64
+	events     int64
+
+	// Per-lane model flags hoisted at reset so the fan loops read a
+	// contiguous byte/word per lane instead of chasing K Model pointers
+	// on every event.
+	laneProp []PropagationMode
+	laneNeg  []bool
 
 	// Critical-path recording (lazy; only when RecordCritPath). crit
 	// and critBack are lane-major — lane k's rank r at crit[k*nranks+r]
@@ -278,14 +322,22 @@ func newBatchState(c *Compiled, K int) *batchState {
 		collOutAttr: make([]Attribution, K*len(c.parts)),
 		collOutPred: make([]int32, K*len(c.parts)),
 		regions:     make([]RegionStats, K*len(c.regionKeys)),
+		rankAcc:     make([]RankResult, K*n),
+		delayAcc:    make([]dist.Welford, K),
+		ordViol:     make([]int64, K),
+		rankEvents:  make([]int64, n),
+		laneProp:    make([]PropagationMode, K),
+		laneNeg:     make([]bool, K),
 		critStart:   make([]critStep, K*n),
+		noiseB:      make([]dist.BatchSampler, n),
+		noiseZero:   make([]bool, n),
+		laneBuf:     make([]float64, 4*K),
 	}
 	for k := 0; k < K; k++ {
-		base := k * (n + 1)
-		st.smps[k].msgRNG = &st.rng[base]
+		st.smps[k].msgRNG = &st.rng[k]
 		st.smps[k].rankRNG = make([]*dist.RNG, n)
 		for r := 0; r < n; r++ {
-			st.smps[k].rankRNG[r] = &st.rng[base+1+r]
+			st.smps[k].rankRNG[r] = &st.rng[(1+r)*K+k]
 		}
 	}
 	return st
@@ -299,12 +351,17 @@ func newBatchState(c *Compiled, K int) *batchState {
 //
 //mpg:hotpath
 func (st *batchState) reset(models []*Model) {
-	stride := len(st.forkLabels)
 	for k := range st.smps {
 		smp := &st.smps[k]
 		smp.model = models[k]
 		smp.nNoise, smp.nMsg = 0, 0
-		dist.ForkHierarchyInto(models[k].Seed, st.forkLabels, st.rng[k*stride:(k+1)*stride])
+		st.laneProp[k] = models[k].Propagation
+		st.laneNeg[k] = models[k].AllowNegative
+		// Stream-major seeding: lane k's generator for fork label i
+		// lands at rng[i*K+k] — bit-identical per lane to what a dense
+		// ForkHierarchyInto over a lane-major layout would seed, just
+		// relocated so each stream's K lane columns stay contiguous.
+		dist.ForkHierarchyIntoStride(models[k].Seed, st.forkLabels, st.rng[k:], st.K)
 	}
 	for i := range st.prevD {
 		st.prevD[i] = 0
@@ -312,6 +369,253 @@ func (st *batchState) reset(models []*Model) {
 	}
 	for i := range st.regions {
 		st.regions[i] = RegionStats{}
+	}
+	for i := range st.rankAcc {
+		st.rankAcc[i] = RankResult{}
+	}
+	for k := range st.delayAcc {
+		st.delayAcc[k] = dist.Welford{}
+		st.ordViol[k] = 0
+	}
+	for i := range st.rankEvents {
+		st.rankEvents[i] = 0
+	}
+	st.events = 0
+	st.planDraws(models)
+}
+
+// planDraws rebuilds the lane-vectorized draw plan for this batch's
+// models. A draw site batches only when every lane resolves the same
+// distribution value, so one SampleInto serves all K lanes; a site
+// where every lane resolves nil becomes a zero fill; anything else
+// (heterogeneous models) keeps the per-lane scalar draws. All three
+// paths produce bit-identical values and RNG consumption per lane —
+// the plan only chooses how the draws are scheduled.
+func (st *batchState) planDraws(models []*Model) {
+	st.latB, st.latZero = planLaneSite(models, siteMsgLatency)
+	st.pbB, st.pbZero = planLaneSite(models, sitePerByte)
+	st.noiseQZero = true
+	for _, m := range models {
+		if m.NoiseQuantum > 0 {
+			st.noiseQZero = false
+			break
+		}
+	}
+	for r := range st.noiseB {
+		st.noiseB[r] = nil
+		st.noiseZero[r] = false
+		d0 := st.smps[0].noiseDist(r)
+		if d0 == nil {
+			zero := true
+			for k := 1; k < st.K; k++ {
+				if st.smps[k].noiseDist(r) != nil {
+					zero = false
+					break
+				}
+			}
+			st.noiseZero[r] = zero
+			continue
+		}
+		b, ok := batchableDist(d0)
+		if !ok {
+			continue
+		}
+		same := true
+		for k := 1; k < st.K; k++ {
+			if st.smps[k].noiseDist(r) != d0 {
+				same = false
+				break
+			}
+		}
+		if same {
+			st.noiseB[r] = b
+		}
+	}
+}
+
+func siteMsgLatency(m *Model) dist.Distribution { return m.MsgLatency }
+func sitePerByte(m *Model) dist.Distribution    { return m.PerByte }
+
+// planLaneSite classifies one model-level draw site across the lanes:
+// (sampler, false) when every lane shares the same batchable value,
+// (nil, true) when every lane resolves nil, (nil, false) otherwise.
+func planLaneSite(models []*Model, site func(*Model) dist.Distribution) (dist.BatchSampler, bool) {
+	d0 := site(models[0])
+	if d0 == nil {
+		for _, m := range models[1:] {
+			if site(m) != nil {
+				return nil, false
+			}
+		}
+		return nil, true
+	}
+	b, ok := batchableDist(d0)
+	if !ok {
+		return nil, false
+	}
+	for _, m := range models[1:] {
+		// Safe even when the other side carries a non-comparable
+		// dynamic type (Mixture holds slices): interface comparison
+		// panics only when *both* operands carry the same
+		// non-comparable type, and batchableDist whitelisted d0's type
+		// as comparable.
+		if site(m) != d0 {
+			return nil, false
+		}
+	}
+	return b, false
+}
+
+// batchableDist reports whether d can drive a column-wise SampleInto:
+// it must implement dist.BatchSampler and be one of the comparable
+// concrete families, so planDraws' cross-lane equality tests can never
+// panic. The whitelist matters: a future non-comparable BatchSampler
+// implementation must be skipped here, not asserted blindly.
+func batchableDist(d dist.Distribution) (dist.BatchSampler, bool) {
+	switch d.(type) {
+	case dist.Exponential, dist.Normal, dist.Uniform, dist.Constant:
+		b, ok := d.(dist.BatchSampler)
+		return b, ok
+	}
+	return nil, false
+}
+
+// drawNoiseLanes fills dst[k] with lane k's osNoise(rank) draw: the
+// batched form runs one SampleInto over the rank stream's contiguous
+// lane generators and then applies each lane's own counter and clamp,
+// reproducing the scalar draw bit for bit.
+//
+//mpg:hotpath
+func (st *batchState) drawNoiseLanes(rank int, dst []float64) {
+	if st.noiseZero[rank] {
+		for k := range dst {
+			dst[k] = 0
+		}
+		return
+	}
+	if b := st.noiseB[rank]; b != nil {
+		b.SampleInto(dst, 1, st.rng[(1+rank)*st.K:(2+rank)*st.K])
+		for k := range dst {
+			smp := &st.smps[k]
+			smp.nNoise++
+			if dst[k] < 0 && !smp.model.AllowNegative {
+				dst[k] = 0
+			}
+		}
+		return
+	}
+	for k := range dst {
+		dst[k] = st.smps[k].osNoise(rank)
+	}
+}
+
+// drawComputeNoiseLanes is drawNoiseLanes for a compute gap of w
+// cycles: zero-length gaps draw nothing, quantized models (any lane
+// with NoiseQuantum > 0) fall back to the scalar variable-draw path.
+//
+//mpg:hotpath
+func (st *batchState) drawComputeNoiseLanes(rank int, w int64, dst []float64) {
+	if w <= 0 {
+		for k := range dst {
+			dst[k] = 0
+		}
+		return
+	}
+	if st.noiseQZero {
+		st.drawNoiseLanes(rank, dst)
+		return
+	}
+	for k := range dst {
+		dst[k] = st.smps[k].computeNoise(rank, w)
+	}
+}
+
+// drawLatencyLanes fills dst[k] with lane k's latency() draw.
+//
+//mpg:hotpath
+func (st *batchState) drawLatencyLanes(dst []float64) {
+	if st.latZero {
+		for k := range dst {
+			dst[k] = 0
+		}
+		return
+	}
+	if st.latB != nil {
+		st.latB.SampleInto(dst, 1, st.rng[:st.K])
+		for k := range dst {
+			smp := &st.smps[k]
+			smp.nMsg++
+			if dst[k] < 0 && !smp.model.AllowNegative {
+				dst[k] = 0
+			}
+		}
+		return
+	}
+	for k := range dst {
+		dst[k] = st.smps[k].latency()
+	}
+}
+
+// drawPerByteLanes fills dst[k] with lane k's perByte(bytes) draw.
+//
+//mpg:hotpath
+func (st *batchState) drawPerByteLanes(bytes int64, dst []float64) {
+	if st.pbZero || bytes <= 0 {
+		for k := range dst {
+			dst[k] = 0
+		}
+		return
+	}
+	if st.pbB != nil {
+		st.pbB.SampleInto(dst, 1, st.rng[:st.K])
+		fb := float64(bytes)
+		for k := range dst {
+			smp := &st.smps[k]
+			smp.nMsg++
+			v := dst[k] * fb
+			if v < 0 && !smp.model.AllowNegative {
+				v = 0
+			}
+			dst[k] = v
+		}
+		return
+	}
+	for k := range dst {
+		dst[k] = st.smps[k].perByte(bytes)
+	}
+}
+
+// matchLanes is the batched form of the opMatch step: lane k's posted
+// subevents are loaded, the four transfer deltas are drawn in exactly
+// the single-replay order per lane (λ1, per-byte, λ2, receiver-side
+// noise — see ReplayCompiled's opMatch case) via the column-wise draw
+// helpers, and each lane's completion is resolved. Drawing a column
+// across lanes before the next column preserves every lane's draw
+// sequence exactly, because each lane owns independent generators —
+// only the intra-lane order is observable.
+//
+//mpg:hotpath
+func (st *batchState) matchLanes(ms []xfer, sendD []float64, sendAttr []Attribution, recvD []float64, recvAttr []Attribution, bytes int64, recvRank int) {
+	K := st.K
+	lat1 := st.laneBuf[:K]
+	pb := st.laneBuf[K : 2*K]
+	lat2 := st.laneBuf[2*K : 3*K]
+	os2 := st.laneBuf[3*K : 4*K]
+	st.drawLatencyLanes(lat1)
+	st.drawPerByteLanes(bytes, pb)
+	st.drawLatencyLanes(lat2)
+	st.drawNoiseLanes(recvRank, os2)
+	for k := range ms {
+		m := &ms[k]
+		m.sendStartD = sendD[k]
+		m.sendAttr = sendAttr[k]
+		m.recvPostD = recvD[k]
+		m.recvAttr = recvAttr[k]
+		m.dLat1 = lat1[k]
+		m.dPerByte = pb[k]
+		m.dLat2 = lat2[k]
+		m.dOS2 = os2[k]
+		m.resolveCompletion()
 	}
 }
 
@@ -340,7 +644,7 @@ func (st *batchState) ensureCrit(c *Compiled) {
 // every lane byte-identical to a standalone replay.
 //
 //mpg:hotpath
-func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(int, TrajectoryPoint), li func(int, IntervalPoint)) {
+func (st *batchState) walk(c *Compiled, recordCrit bool, lt func(int, TrajectoryPoint), li func(int, IntervalPoint)) {
 	K := st.K
 	k64 := int64(K)
 	for i := range c.ops {
@@ -350,17 +654,18 @@ func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(
 			rank := int(o.rank)
 			base := (c.evBase[rank] + o.event) * k64
 			pb := rank * K
+			noise := st.laneBuf[:K]
+			st.drawComputeNoiseLanes(rank, o.aux, noise)
 			for k := 0; k < K; k++ {
-				smp := &st.smps[k]
-				delta := smp.computeNoise(rank, o.aux)
+				delta := noise[k]
 				sD := st.prevD[pb+k] + delta
 				sA := st.prevAttr[pb+k].addOwn(delta)
-				res[k].Ranks[rank].InjectedLocal += delta
-				if smp.model.AllowNegative && o.started {
+				st.rankAcc[pb+k].InjectedLocal += delta
+				if st.laneNeg[k] && o.started {
 					// Order preservation (§4.3), as in beginRecord.
 					if floor := st.prevD[pb+k] - float64(o.aux); sD < floor {
 						sD = floor
-						res[k].OrderViolations++
+						st.ordViol[k]++
 					}
 				}
 				st.startD[base+int64(k)] = sD
@@ -381,7 +686,7 @@ func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(
 			sgi := (c.evBase[cm.sendRank] + cm.sendEvent) * k64
 			rgi := (c.evBase[cm.recvRank] + cm.recvEvent) * k64
 			mi := int64(o.arg) * k64
-			matchLanesKernel(st.smps, st.msgs[mi:mi+k64],
+			st.matchLanes(st.msgs[mi:mi+k64],
 				st.startD[sgi:sgi+k64], st.startAttr[sgi:sgi+k64],
 				st.startD[rgi:rgi+k64], st.startAttr[rgi:rgi+k64],
 				cm.bytes, int(cm.recvRank))
@@ -394,12 +699,19 @@ func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(
 			base := (c.evBase[rank] + o.event) * k64
 			pb := rank * K
 			rb := int(o.region) * K
+			// Hoist the per-lane noise draw out of the fan loop for the
+			// end ops that sample: one column-wise draw, then the loop
+			// consumes lane k's value in place of its scalar call.
+			var noise []float64
+			if o.code == opEndLocal || o.code == opEndSend {
+				noise = st.laneBuf[:K]
+				st.drawNoiseLanes(rank, noise)
+			}
 			for k := 0; k < K; k++ {
-				smp := &st.smps[k]
-				model := smp.model
+				prop := st.laneProp[k]
 				sD := st.startD[base+int64(k)]
 				sA := st.startAttr[base+int64(k)]
-				rr := &res[k].Ranks[rank]
+				rr := &st.rankAcc[pb+k]
 				reg := &st.regions[rb+k]
 				var endD float64
 				var endAttr Attribution
@@ -415,16 +727,16 @@ func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(
 					endD, endAttr = sD, sA
 
 				case opEndLocal:
-					delta := smp.osNoise(rank)
+					delta := noise[k]
 					rr.InjectedLocal += delta
-					endD, endAttr = combineLocalKernel(model.Propagation, sD, sA, delta, o.aux)
+					endD, endAttr = combineLocalKernel(prop, sD, sA, delta, o.aux)
 
 				case opEndSend:
 					m := &st.msgs[int64(o.arg)*k64+int64(k)]
-					dOS1 := smp.osNoise(rank)
+					dOS1 := noise[k]
 					rr.InjectedLocal += dOS1
 					local, remote, localAttr, remoteAttr := sendCompletionKernel(
-						model.Propagation, sD, sA, dOS1, o.aux, m)
+						prop, sD, sA, dOS1, o.aux, m)
 					mergeStats(rr, reg, local, remote)
 					if remote > local {
 						endD, endAttr = remote, remoteAttr
@@ -440,13 +752,13 @@ func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(
 					m := &st.msgs[int64(o.arg)*k64+int64(k)]
 					rr.InjectedLocal += m.dOS2
 					local, remote, localAttr, remoteAttr := recvCompletionKernel(
-						model.Propagation, sD, sA, o.aux, m)
+						prop, sD, sA, o.aux, m)
 					mergeStats(rr, reg, local, remote)
 					if remote > local {
 						endD, endAttr = remote, remoteAttr
 						ivWait, ivState = remote-local, WaitLateSender
 						if recordCrit {
-							if model.Propagation == PropagationAnchored {
+							if prop == PropagationAnchored {
 								// Anchored receive: the remote path is always the
 								// data arrival, never the receiver's own post.
 								cm := &c.msgs[o.arg]
@@ -464,7 +776,7 @@ func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(
 					pi := int(o.arg)*K + k
 					local := sD
 					remote := st.collOutD[pi]
-					if model.Propagation == PropagationAnchored {
+					if prop == PropagationAnchored {
 						remote -= float64(pt.dur)
 					}
 					mergeStats(rr, reg, local, remote)
@@ -483,10 +795,10 @@ func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(
 				}
 
 				// Commit, mirroring finishRecord.
-				if model.AllowNegative {
+				if st.laneNeg[k] {
 					if floor := sD - float64(o.aux); endD < floor {
 						endD = floor
-						res[k].OrderViolations++
+						st.ordViol[k]++
 					}
 				}
 				if recordCrit {
@@ -496,9 +808,10 @@ func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(
 				}
 				st.prevD[pb+k] = endD
 				st.prevAttr[pb+k] = endAttr
-				rr.Events++
-				res[k].Events++
-				res[k].DelayStats.Add(endD)
+				// The K delayAcc Welford chains are independent, so the
+				// serial divide in Add pipelines across lanes here instead
+				// of stalling one chain per event as the scalar replay must.
+				st.delayAcc[k].Add(endD)
 				if lt != nil {
 					lt(k, TrajectoryPoint{
 						Rank:    rank,
@@ -536,6 +849,8 @@ func (st *batchState) walk(c *Compiled, res []*Result, recordCrit bool, lt func(
 				reg.Events++
 				reg.DelayGrowth = endD - reg.firstDelay
 			}
+			st.rankEvents[rank]++
+			st.events++
 		}
 	}
 }

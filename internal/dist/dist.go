@@ -64,9 +64,14 @@ type Exponential struct {
 	MeanValue float64
 }
 
-// Sample implements Distribution.
+// Sample implements Distribution via the 256-layer ziggurat
+// (ziggurat.go): ~99% of draws are one Uint64, one table lookup, and
+// one compare; math.Log survives only on the rare tail. The exact
+// inverse-CDF sampler this replaced remains available through Exact().
+//
+//mpg:hotpath
 func (e Exponential) Sample(r *RNG) float64 {
-	return -e.MeanValue * math.Log(r.Float64Open())
+	return e.MeanValue * stdExp(r)
 }
 
 // Mean implements Distribution.
@@ -84,14 +89,13 @@ type Normal struct {
 	Mu, Sigma float64
 }
 
-// Sample implements Distribution using the Box–Muller transform. Only
-// one of the two generated variates is used so that sampling remains a
-// pure function of the RNG stream position.
+// Sample implements Distribution via the 256-layer symmetric ziggurat
+// (ziggurat.go); the Box–Muller sampler it replaced remains available
+// through Exact().
+//
+//mpg:hotpath
 func (n Normal) Sample(r *RNG) float64 {
-	u1 := r.Float64Open()
-	u2 := r.Float64()
-	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
-	return n.Mu + n.Sigma*z
+	return n.Mu + n.Sigma*stdNorm(r)
 }
 
 // Mean implements Distribution.

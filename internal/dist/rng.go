@@ -13,6 +13,8 @@
 // reproducible and tests can assert exact values.
 package dist
 
+import "math/bits"
+
 // RNG is a deterministic pseudo-random number generator based on
 // xoshiro256** (Blackman & Vigna). It is not safe for concurrent use;
 // each simulated component owns its own RNG, forked from a parent seed,
@@ -56,19 +58,21 @@ func (r *RNG) Reseed(seed uint64) {
 	}
 }
 
-func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
-
-// Uint64 returns the next 64-bit value in the stream.
+// Uint64 returns the next 64-bit value in the stream. The body keeps
+// the state in locals and rotates through the math/bits intrinsics so
+// it stays under the compiler's inlining budget — every sampler fast
+// path draws through here, and the per-draw call overhead is
+// measurable at replay scale.
 func (r *RNG) Uint64() uint64 {
-	result := rotl(r.s[1]*5, 7) * 9
-	t := r.s[1] << 17
-	r.s[2] ^= r.s[0]
-	r.s[3] ^= r.s[1]
-	r.s[1] ^= r.s[2]
-	r.s[0] ^= r.s[3]
-	r.s[2] ^= t
-	r.s[3] = rotl(r.s[3], 45)
-	return result
+	s1 := r.s[1]
+	x := bits.RotateLeft64(s1*5, 7) * 9
+	s2 := r.s[2] ^ r.s[0]
+	s3 := r.s[3] ^ s1
+	r.s[1] = s1 ^ s2
+	r.s[0] ^= s3
+	r.s[2] = s2 ^ (s1 << 17)
+	r.s[3] = bits.RotateLeft64(s3, 45)
+	return x
 }
 
 // Float64 returns a value uniformly distributed in [0, 1).
@@ -142,10 +146,23 @@ func (r *RNG) ForkNamedInto(label string, dst *RNG) {
 //
 //mpg:hotpath
 func ForkHierarchyInto(seed uint64, labels []string, dst []RNG) {
+	ForkHierarchyIntoStride(seed, labels, dst, 1)
+}
+
+// ForkHierarchyIntoStride is ForkHierarchyInto writing labels[i]'s
+// generator into dst[i*stride] instead of dst[i]. The lane-batched
+// replayer keeps its K lane hierarchies stream-major (one stream's K
+// lane generators contiguous, so batched SampleInto draws walk a
+// contiguous span); each lane seeds its strided column with exactly
+// the states a dense ForkHierarchyInto would produce. It panics if
+// dst cannot hold (len(labels)-1)*stride+1 generators.
+//
+//mpg:hotpath
+func ForkHierarchyIntoStride(seed uint64, labels []string, dst []RNG, stride int) {
 	var root RNG
 	root.Reseed(seed)
 	for i := range labels {
-		root.ForkNamedInto(labels[i], &dst[i])
+		root.ForkNamedInto(labels[i], &dst[i*stride])
 	}
 }
 

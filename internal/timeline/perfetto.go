@@ -183,8 +183,19 @@ func (t *Timeline) WriteJSON(w io.Writer, opts ExportOptions) error {
 				continue
 			}
 			cid++
-			ew.emit(traceEvent{Name: "critpath", Cat: catCritpath, Ph: "s", Ts: t.nodeTime(a.Node), Pid: pidRanks, Tid: a.Node.Rank, ID: cid})
-			ew.emit(traceEvent{Name: "critpath", Cat: catCritpath, Ph: "f", Ts: t.nodeTime(b.Node), Pid: pidRanks, Tid: b.Node.Rank, ID: cid, BP: "e"})
+			// The path is the argmax chain in delay space, so a step's
+			// predecessor can sit later on the absolute clock than the
+			// step itself (its traced time was earlier, its delay larger).
+			// Clamp the arrowhead forward: trace-event flows must not
+			// travel backward in time (Validate enforces this), and the
+			// arrow still lands on the correct track and event.
+			sTs := t.nodeTime(a.Node)
+			fTs := t.nodeTime(b.Node)
+			if fTs < sTs {
+				fTs = sTs
+			}
+			ew.emit(traceEvent{Name: "critpath", Cat: catCritpath, Ph: "s", Ts: sTs, Pid: pidRanks, Tid: a.Node.Rank, ID: cid})
+			ew.emit(traceEvent{Name: "critpath", Cat: catCritpath, Ph: "f", Ts: fTs, Pid: pidRanks, Tid: b.Node.Rank, ID: cid, BP: "e"})
 		}
 	}
 
