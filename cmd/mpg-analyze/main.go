@@ -53,8 +53,9 @@ func run(args []string) error {
 	tlWindow := fs.Float64("timeline-window", 0, "window width in cycles for the timeline's counter tracks (0 = auto)")
 	tlRanks := fs.String("timeline-ranks", "", "ranks to include in the timeline export, e.g. \"0-3,7\" (empty or \"all\" = every rank)")
 	tlValidate := fs.String("timeline-validate", "", "validate an existing trace-event JSON file against the exporter's contract and exit")
-	engine := fs.String("engine", "streaming", "analysis engine: streaming, compiled, or batched (all byte-identical)")
+	engine := fs.String("engine", "streaming", "analysis engine: streaming, compiled, batched, or parallel (all byte-identical)")
 	replayLanes := fs.Int("replay-lanes", 0, "lane width for -engine batched (0 = default)")
+	replayWorkers := fs.Int("replay-workers", 0, "cores for -engine parallel (0 = GOMAXPROCS); results are identical for any value")
 	trajectory := fs.String("trajectory", "", "write a per-event delay CSV (rank,event,kind,orig_end,delay,region) to this path")
 	history := fs.String("history", "", "append this run's summary to a JSON-lines history file (§7)")
 	label := fs.String("label", "", "label for the history entry")
@@ -86,9 +87,9 @@ func run(args []string) error {
 		return fmt.Errorf("-traces is required")
 	}
 	switch *engine {
-	case "streaming", "compiled", "batched":
+	case "streaming", "compiled", "batched", "parallel":
 	default:
-		return fmt.Errorf("unknown -engine %q (want streaming, compiled, or batched)", *engine)
+		return fmt.Errorf("unknown -engine %q (want streaming, compiled, batched, or parallel)", *engine)
 	}
 	if *critpathDOT != "" && *engine != "streaming" {
 		return fmt.Errorf("-critpath-dot needs the graph sink; use -engine streaming")
@@ -172,7 +173,7 @@ func run(args []string) error {
 		}
 	}
 
-	res, err := analyze(set, model, opts, *engine, *replayLanes)
+	res, err := analyze(set, model, opts, *engine, *replayLanes, *replayWorkers)
 	if err != nil {
 		return err
 	}
@@ -258,14 +259,15 @@ func run(args []string) error {
 	return of.Flush()
 }
 
-// analyze runs the model through the selected engine. All three
+// analyze runs the model through the selected engine. All four
 // engines are pinned byte-identical by the core equivalence suite, so
 // the choice changes performance characteristics, never results: the
-// compiled engine pre-flattens the schedule into an op tape, and the
-// batched engine propagates the model as lane 0 of a replay batch
-// whose other lanes carry derived-seed variants (their results are
-// discarded — the lane exists to exercise the SoA walk).
-func analyze(set *trace.Set, model *core.Model, opts core.Options, engine string, lanes int) (*core.Result, error) {
+// compiled engine pre-flattens the schedule into an op tape, the
+// parallel engine executes one replay's wavefront slabs across cores,
+// and the batched engine propagates the model as lane 0 of a replay
+// batch whose other lanes carry derived-seed variants (their results
+// are discarded — the lane exists to exercise the SoA walk).
+func analyze(set *trace.Set, model *core.Model, opts core.Options, engine string, lanes, workers int) (*core.Result, error) {
 	if engine == "streaming" {
 		return core.Analyze(set, model, opts)
 	}
@@ -275,6 +277,9 @@ func analyze(set *trace.Set, model *core.Model, opts core.Options, engine string
 	}
 	if engine == "compiled" {
 		return core.ReplayCompiled(prog, model, opts)
+	}
+	if engine == "parallel" {
+		return core.ReplayParallel(prog, model, opts, workers)
 	}
 	lanes = core.PickReplayLanes(lanes, core.DefaultReplayLanes)
 	models := make([]*core.Model, lanes)

@@ -56,6 +56,7 @@ func run(args []string) error {
 	sampler := fs.Bool("sampler", false, "benchmark the distribution samplers (ziggurat vs exact reference, scalar vs lane-batched) and write BENCH_sampler.json")
 	samplerDraws := fs.Int("sampler-draws", 2_000_000, "draws per sampler benchmark case")
 	replayBatch := fs.Bool("replay-batch", false, "with -replay (implied): also sweep the lane-batched replay engine over K=1,4,16,64, gated on batch-vs-single equivalence")
+	replayParallel := fs.Bool("replay-parallel", false, "with -replay (implied): also sweep the wavefront-slab parallel replay engine over workers=1,2,4,8, gated on parallel-vs-single byte-equality")
 	replayWorkload := fs.String("replay-workload", "stencil1d", "workload for the replay benchmark")
 	replayRanks := fs.Int("replay-ranks", 64, "world size for the replay benchmark")
 	replayIters := fs.Int("replay-iters", 10, "workload iterations for the replay benchmark")
@@ -73,7 +74,7 @@ func run(args []string) error {
 		}
 		return runSampler(samplerConfig{draws: *samplerDraws, out: path})
 	}
-	if *replay || *replayBatch {
+	if *replay || *replayBatch || *replayParallel {
 		path := *out
 		if path == "" {
 			path = "BENCH_replay.json"
@@ -88,6 +89,7 @@ func run(args []string) error {
 			seed:      *replaySeed,
 			out:       path,
 			batch:     *replayBatch,
+			par:       *replayParallel,
 		})
 	}
 	if *out == "" {

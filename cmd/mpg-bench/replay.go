@@ -31,10 +31,19 @@ type replayConfig struct {
 	// through core.ReplayBatch at each width in batchLaneWidths, gated
 	// in-band on batch-vs-single equivalence.
 	batch bool
+	// par adds the intra-replay worker trajectory: the same trials
+	// replayed through core.ReplayParallel at each count in
+	// parallelWorkerCounts, gated in-band on parallel-vs-single
+	// byte-equality.
+	par bool
 }
 
 // batchLaneWidths is the lane trajectory -replay-batch sweeps.
 var batchLaneWidths = []int{1, 4, 16, 64}
+
+// parallelWorkerCounts is the worker trajectory -replay-parallel
+// sweeps.
+var parallelWorkerCounts = []int{1, 2, 4, 8}
 
 // pathStats is one engine path's measured replay throughput.
 type pathStats struct {
@@ -52,11 +61,22 @@ type batchPoint struct {
 	SpeedupVsCompiled float64 `json:"speedup_vs_compiled"`
 }
 
+// parallelPoint is one worker count of the intra-replay parallel
+// trajectory.
+type parallelPoint struct {
+	Workers int `json:"workers"`
+	pathStats
+	// SpeedupVsCompiled is serial compiled ns/replay over this worker
+	// count's ns/replay.
+	SpeedupVsCompiled float64 `json:"speedup_vs_compiled"`
+}
+
 // replayReport is the BENCH_replay.json schema: the benchmark's
 // configuration, the one-time compile cost, and per-path throughput
 // for the streaming analyzer (serial and parallel) against the
 // compiled replay engine, plus (with -replay-batch) the lane-batched
-// replay trajectory.
+// replay trajectory and (with -replay-parallel) the wavefront-slab
+// intra-replay worker trajectory.
 type replayReport struct {
 	Workload   string `json:"workload"`
 	Ranks      int    `json:"ranks"`
@@ -78,6 +98,11 @@ type replayReport struct {
 	// BestBatchSpeedup is the largest Batched speedup vs single-lane
 	// compiled replay.
 	BestBatchSpeedup float64 `json:"best_batch_speedup_vs_compiled,omitempty"`
+	// Parallel is the -replay-parallel worker trajectory in count order.
+	Parallel []parallelPoint `json:"parallel,omitempty"`
+	// BestParallelSpeedup is the largest Parallel speedup vs the serial
+	// compiled replay.
+	BestParallelSpeedup float64 `json:"best_parallel_speedup_vs_compiled,omitempty"`
 }
 
 // replayModel builds the per-trial perturbation model. The model mixes
@@ -228,6 +253,16 @@ func runReplay(cfg replayConfig) error {
 			}
 		}
 	}
+	if cfg.par {
+		if rep.Parallel, err = runParallelTrajectory(compiled, cfg, comp); err != nil {
+			return err
+		}
+		for _, pp := range rep.Parallel {
+			if pp.SpeedupVsCompiled > rep.BestParallelSpeedup {
+				rep.BestParallelSpeedup = pp.SpeedupVsCompiled
+			}
+		}
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -252,8 +287,66 @@ func runReplay(cfg replayConfig) error {
 	if rep.BestBatchSpeedup > 0 {
 		fmt.Printf("best batched speedup vs compiled: %.2fx\n", rep.BestBatchSpeedup)
 	}
+	for _, pp := range rep.Parallel {
+		fmt.Printf("parallel workers=%-2d %.3f ms/replay (%.0f allocs, %.2fx vs compiled)\n",
+			pp.Workers, pp.NsPerReplay/1e6, pp.AllocsPerReplay, pp.SpeedupVsCompiled)
+	}
+	if rep.BestParallelSpeedup > 0 {
+		fmt.Printf("best parallel speedup vs compiled: %.2fx\n", rep.BestParallelSpeedup)
+	}
 	fmt.Printf("report written to %s\n", cfg.out)
 	return nil
+}
+
+// runParallelTrajectory measures the wavefront-slab parallel replay
+// engine at every worker count in parallelWorkerCounts. Before any
+// timing, each count passes an in-band byte-equality gate: the first
+// few trial models — both propagation modes — must reproduce their
+// serial ReplayCompiled results deeply equal, critical paths and all.
+// Each trial then runs as one ReplayParallel call at that worker
+// count, so every point pays the same total replay count as the
+// serial compiled path it is compared to.
+func runParallelTrajectory(compiled *core.Compiled, cfg replayConfig, comp pathStats) ([]parallelPoint, error) {
+	points := make([]parallelPoint, 0, len(parallelWorkerCounts))
+	for _, workers := range parallelWorkerCounts {
+		gateK := 4
+		if gateK > cfg.trials {
+			gateK = cfg.trials
+		}
+		gopts := core.Options{RecordCritPath: true}
+		for k := 0; k < gateK; k++ {
+			m := replayModel(cfg.seed, k)
+			if k%2 == 1 {
+				m.Propagation = core.PropagationAnchored
+			}
+			want, err := core.ReplayCompiled(compiled, m, gopts)
+			if err != nil {
+				return nil, err
+			}
+			got, err := core.ReplayParallel(compiled, m, gopts, workers)
+			if err != nil {
+				return nil, err
+			}
+			if !reflect.DeepEqual(want, got) {
+				return nil, fmt.Errorf("workers=%d: parallel replay diverged from serial compiled replay (makespan %g vs %g)",
+					workers, got.MakespanDelay, want.MakespanDelay)
+			}
+		}
+
+		stats, err := measure(cfg.trials, func(trial int) error {
+			_, err := core.ReplayParallel(compiled, replayModel(cfg.seed, trial), core.Options{}, workers)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, parallelPoint{
+			Workers:           workers,
+			pathStats:         stats,
+			SpeedupVsCompiled: comp.NsPerReplay / stats.NsPerReplay,
+		})
+	}
+	return points, nil
 }
 
 // runBatchTrajectory measures the lane-batched replay engine at every

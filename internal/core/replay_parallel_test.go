@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mpgraph/internal/dist"
+	"mpgraph/internal/trace"
+	"mpgraph/internal/workloads"
+)
+
+// parallelSnaps is the workload grid the parallel-replay pins sweep:
+// same four shapes as TestReplayCompiledMatchesAnalyze, so the
+// byte-identity chain Analyze == ReplayCompiled == ReplayParallel is
+// closed over one corpus.
+func parallelSnaps(t *testing.T) map[string]*trace.Snapshot {
+	t.Helper()
+	return map[string]*trace.Snapshot{
+		"tokenring": snapWorkload(t, "tokenring", 8, workloads.Options{Iterations: 4}),
+		"stencil1d": snapWorkload(t, "stencil1d", 8, workloads.Options{Iterations: 6, CollEvery: 2}),
+		"bsp":       snapWorkload(t, "bsp", 6, workloads.Options{Iterations: 3}),
+		"collzoo":   snapProgram(t, 6, collZoo),
+	}
+}
+
+// TestReplayParallelMatchesCompiled is the tentpole correctness pin:
+// across every workload shape, every model in the equivalence grid,
+// and workers in {1, 2, 4, 8}, ReplayParallel must be byte-identical
+// to ReplayCompiled — the full Result (delays, attribution, regions,
+// order violations, warnings, critical path) plus the trajectory and
+// interval streams. Each combo replays twice so pooled-state reuse is
+// exercised, not just the cold path. Run with -race: the same test
+// doubles as the data-race pin on the slab executor.
+func TestReplayParallelMatchesCompiled(t *testing.T) {
+	for name, snap := range parallelSnaps(t) {
+		t.Run(name, func(t *testing.T) {
+			set, release := snap.Acquire()
+			c, err := Compile(set, Options{})
+			release()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, model := range equivalenceModels() {
+				t.Run(modelLabel(model), func(t *testing.T) {
+					var trajW []TrajectoryPoint
+					var ivW []IntervalPoint
+					want, err := ReplayCompiled(c, model, Options{
+						RecordCritPath: true,
+						Trajectory:     func(p TrajectoryPoint) { trajW = append(trajW, p) },
+						Interval:       func(p IntervalPoint) { ivW = append(ivW, p) },
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, workers := range []int{1, 2, 4, 8} {
+						for i := 0; i < 2; i++ {
+							var trajG []TrajectoryPoint
+							var ivG []IntervalPoint
+							got, err := ReplayParallel(c, model, Options{
+								RecordCritPath: true,
+								Trajectory:     func(p TrajectoryPoint) { trajG = append(trajG, p) },
+								Interval:       func(p IntervalPoint) { ivG = append(ivG, p) },
+							}, workers)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !reflect.DeepEqual(want, got) {
+								t.Fatalf("workers=%d replay %d diverged from ReplayCompiled:\n%s",
+									workers, i, diffResults(want, got))
+							}
+							if !reflect.DeepEqual(trajW, trajG) {
+								t.Fatalf("workers=%d replay %d trajectory diverged (%d vs %d points)",
+									workers, i, len(trajW), len(trajG))
+							}
+							if !reflect.DeepEqual(ivW, ivG) {
+								t.Fatalf("workers=%d replay %d interval stream diverged (%d vs %d points)",
+									workers, i, len(ivW), len(ivG))
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestReplayParallelConcurrent replays one compiled program from many
+// goroutines at mixed worker counts; every result must equal the
+// serial reference. Run with -race — this is the pin on concurrent
+// ReplayParallel calls sharing one Compiled (plan caches, pools).
+func TestReplayParallelConcurrent(t *testing.T) {
+	snap := snapWorkload(t, "stencil1d", 8, workloads.Options{Iterations: 4, CollEvery: 2})
+	set, release := snap.Acquire()
+	c, err := Compile(set, Options{})
+	release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &Model{
+		Seed:       21,
+		OSNoise:    dist.Exponential{MeanValue: 50},
+		MsgLatency: dist.Exponential{MeanValue: 200},
+		PerByte:    dist.Exponential{MeanValue: 0.03},
+	}
+	want, err := ReplayCompiled(c, model, Options{RecordCritPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			workers := []int{1, 2, 4, 8}[g%4]
+			for i := 0; i < 8; i++ {
+				got, err := ReplayParallel(c, model, Options{RecordCritPath: true}, workers)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(want, got) {
+					errs <- fmt.Errorf("goroutine %d (workers=%d) replay %d diverged:\n%s",
+						g, workers, i, diffResults(want, got))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// slabRank recovers the owning rank of a slab index from slabBase —
+// the same recovery the level assignment uses.
+func slabRank(p *parPlan, si int32) int {
+	for r := 0; r+1 < len(p.slabBase); r++ {
+		if p.slabBase[r] <= si && si < p.slabBase[r+1] {
+			return r
+		}
+	}
+	return -1
+}
+
+// TestParPlanProperties pins the slab planner's structural contract on
+// every workload shape:
+//
+//   - Coverage: every non-match op appears in exactly one stream node,
+//     streams are in ascending tape order, and slabs partition each
+//     stream contiguously.
+//   - Edge cutting: every cross-stream dependency targets the *last*
+//     node of some slab (publication grants it), and every
+//     dep-carrying node is the *first* node of its slab (the msg/coll
+//     edge is cut at a slab boundary); same-rank edges carry no dep.
+//   - Acyclicity: every dependency's producing slab has a strictly
+//     smaller wavefront level than the consuming slab, and
+//     nWavefronts is the maximum level + 1 — so the schedule is a
+//     proper topological layering.
+//   - Determinism: two independent builds of the plan are deeply equal.
+func TestParPlanProperties(t *testing.T) {
+	for name, snap := range parallelSnaps(t) {
+		t.Run(name, func(t *testing.T) {
+			set, release := snap.Acquire()
+			c, err := Compile(set, Options{})
+			release()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := c.parPlanOf()
+			n := c.nranks
+
+			// Coverage: each non-match op in exactly one node.
+			nonMatch := 0
+			for i := range c.ops {
+				if c.ops[i].code != opMatch {
+					nonMatch++
+				}
+			}
+			if len(p.nodes) != nonMatch {
+				t.Fatalf("plan has %d nodes, tape has %d non-match ops", len(p.nodes), nonMatch)
+			}
+			seen := make(map[int32]bool, len(p.nodes))
+			for r := 0; r < n; r++ {
+				stream := p.nodes[p.nodeBase[r]:p.nodeBase[r+1]]
+				if int64(len(stream)) != p.targets[r] {
+					t.Fatalf("rank %d: stream length %d != target %d", r, len(stream), p.targets[r])
+				}
+				for i, opIdx := range stream {
+					if seen[opIdx] {
+						t.Fatalf("op %d routed to two stream nodes", opIdx)
+					}
+					seen[opIdx] = true
+					if c.ops[opIdx].code == opMatch {
+						t.Fatalf("rank %d node %d is an opMatch; matches must not be scheduled", r, i)
+					}
+					if i > 0 && stream[i-1] >= opIdx {
+						t.Fatalf("rank %d stream not in ascending tape order at node %d", r, i)
+					}
+				}
+				// Slabs partition [0, len(stream)) contiguously.
+				pos := int32(0)
+				for _, sl := range p.slabs[p.slabBase[r]:p.slabBase[r+1]] {
+					if sl.lo != pos || sl.hi <= sl.lo {
+						t.Fatalf("rank %d: slab [%d,%d) does not continue partition at %d", r, sl.lo, sl.hi, pos)
+					}
+					pos = sl.hi
+				}
+				if int64(pos) != p.targets[r] {
+					t.Fatalf("rank %d: slabs cover [0,%d), stream has %d nodes", r, pos, p.targets[r])
+				}
+			}
+
+			// Edge cutting + acyclicity.
+			slabOf := func(r int, pos int64) *parSlab {
+				for i := p.slabBase[r]; i < p.slabBase[r+1]; i++ {
+					if int64(p.slabs[i].lo) <= pos && pos < int64(p.slabs[i].hi) {
+						return &p.slabs[i]
+					}
+				}
+				t.Fatalf("rank %d position %d not covered by any slab", r, pos)
+				return nil
+			}
+			for si := range p.slabs {
+				sl := &p.slabs[si]
+				r := slabRank(p, int32(si))
+				if sl.depN > 0 && sl.lo != 0 {
+					// The deps stored on a slab belong to its first node;
+					// verify that node starts the slab (cut-before-dep).
+					_ = r
+				}
+				for _, d := range p.deps[sl.depOff : sl.depOff+sl.depN] {
+					if int(d.rank) == r {
+						t.Fatalf("slab %d carries a same-rank dependency", si)
+					}
+					target := slabOf(int(d.rank), d.pos-1)
+					if int64(target.hi) != d.pos {
+						t.Fatalf("dep on rank %d pos %d does not target a slab-final node (slab ends at %d)",
+							d.rank, d.pos, target.hi)
+					}
+					if target.level >= sl.level {
+						t.Fatalf("dep target slab level %d >= consumer level %d: schedule not acyclic",
+							target.level, sl.level)
+					}
+				}
+			}
+			maxLevel := int32(-1)
+			for si := range p.slabs {
+				if p.slabs[si].level > maxLevel {
+					maxLevel = p.slabs[si].level
+				}
+			}
+			if p.nWavefronts != int(maxLevel)+1 {
+				t.Fatalf("nWavefronts=%d, max level=%d", p.nWavefronts, maxLevel)
+			}
+
+			// Every message/collective edge is either intra-stream or cut:
+			// each cross-rank completion node must start its slab.
+			for r := 0; r < n; r++ {
+				stream := p.nodes[p.nodeBase[r]:p.nodeBase[r+1]]
+				for i, opIdx := range stream {
+					o := &c.ops[opIdx]
+					cross := false
+					switch o.code {
+					case opEndSend:
+						cross = int(c.msgs[o.arg].recvRank) != r
+					case opEndRecv:
+						cross = int(c.msgs[o.arg].sendRank) != r
+					case opEndColl:
+						cc := &c.colls[c.parts[o.arg].coll]
+						cross = int(c.parts[cc.partOff].rank) != r
+					case opCollResolve:
+						cc := &c.colls[o.arg]
+						for j := int32(0); j < cc.partN; j++ {
+							if int(c.parts[cc.partOff+j].rank) != r {
+								cross = true
+							}
+						}
+					}
+					if cross {
+						sl := slabOf(r, int64(i))
+						if int(sl.lo) != i {
+							t.Fatalf("rank %d node %d (op %d, code %d) consumes a cross-rank edge but is mid-slab [%d,%d)",
+								r, i, opIdx, o.code, sl.lo, sl.hi)
+						}
+					}
+				}
+			}
+
+			// Determinism: an independent build is byte-equal.
+			again := buildParPlan(c)
+			if !reflect.DeepEqual(p, again) {
+				t.Fatal("buildParPlan is not deterministic across builds")
+			}
+		})
+	}
+}
+
+// TestDrawPlanLayout pins the draw plan invariants: collective spans
+// are monotone and close the value array, every site writes a distinct
+// slot, and independent builds agree.
+func TestDrawPlanLayout(t *testing.T) {
+	snap := snapProgram(t, 6, collZoo)
+	set, release := snap.Acquire()
+	c, err := Compile(set, Options{})
+	release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []CollectiveMode{CollectiveApprox, CollectiveExplicit} {
+		for _, bytes := range []bool{false, true} {
+			key := drawPlanKey{mode: mode, bytes: bytes}
+			p := buildDrawPlan(c, key)
+			T := int(c.evBase[c.nranks])
+			if p.endOff != T || p.msgOff != 2*T {
+				t.Fatalf("%v: layout offsets endOff=%d msgOff=%d, want %d/%d", key, p.endOff, p.msgOff, T, 2*T)
+			}
+			if int(p.collOff[len(c.colls)]) != p.valsLen {
+				t.Fatalf("%v: final collOff %d != valsLen %d", key, p.collOff[len(c.colls)], p.valsLen)
+			}
+			for i := 0; i < len(c.colls); i++ {
+				if p.collOff[i] > p.collOff[i+1] {
+					t.Fatalf("%v: collOff not monotone at %d", key, i)
+				}
+			}
+			written := make(map[int32]bool, p.valsLen)
+			for s, sites := range p.streams {
+				for _, site := range sites {
+					if site.dst < 0 || int(site.dst) >= p.valsLen {
+						t.Fatalf("%v: stream %d site dst %d out of range [0,%d)", key, s, site.dst, p.valsLen)
+					}
+					if written[site.dst] {
+						t.Fatalf("%v: slot %d written by two sites", key, site.dst)
+					}
+					written[site.dst] = true
+				}
+			}
+			again := buildDrawPlan(c, key)
+			if !reflect.DeepEqual(p, again) {
+				t.Fatalf("%v: buildDrawPlan not deterministic", key)
+			}
+		}
+	}
+}
+
+// TestReplayParallelGraphSinkRejected mirrors the ReplayCompiled rule:
+// graph export needs the streaming engine.
+func TestReplayParallelGraphSinkRejected(t *testing.T) {
+	snap := snapWorkload(t, "tokenring", 4, workloads.Options{Iterations: 2})
+	set, release := snap.Acquire()
+	c, err := Compile(set, Options{})
+	release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayParallel(c, &Model{}, Options{Graph: discardSink{}}, 2); err == nil {
+		t.Fatal("expected an error for a graph sink on the parallel replayer")
+	}
+}
+
+// TestReplayParallelAllocs pins the amortized allocation budget of the
+// warm parallel path at 4 workers: the Result trio (struct, Ranks,
+// Regions map + stats backing) plus the per-run goroutine spawns and
+// their closure captures. Worker goroutines dominate (~3 spawns × a
+// few objects each); the bound leaves ~2x headroom so it catches
+// per-slab or per-event allocation (which would add hundreds), not Go
+// runtime drift.
+func TestReplayParallelAllocs(t *testing.T) {
+	snap := snapWorkload(t, "tokenring", 8, workloads.Options{Iterations: 8})
+	set, release := snap.Acquire()
+	c, err := Compile(set, Options{})
+	release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &Model{
+		Seed:       5,
+		OSNoise:    dist.Exponential{MeanValue: 50},
+		MsgLatency: dist.Exponential{MeanValue: 200},
+	}
+	// Warm the pool and the plan caches.
+	if _, err := ReplayParallel(c, model, Options{}, 4); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := ReplayParallel(c, model, Options{}, 4); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 48 {
+		t.Fatalf("warm ReplayParallel allocates %.1f objects/replay; want <= 48", allocs)
+	}
+}

@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"mpgraph/internal/baseline"
@@ -39,6 +40,14 @@ type Config struct {
 	// seeded from Config.Seed and the grid point alone, and rows are
 	// assembled in grid order after collection.
 	Workers int
+	// ReplayWorkers, when > 1, runs the batch-replayed model grids
+	// through the wavefront-slab parallel engine instead
+	// (core.ReplayParallel at ReplayWorkers cores per model, models
+	// fanned out over max(1, Workers/ReplayWorkers) outer tasks so the
+	// total budget stays ~Workers). Byte-identical for every setting —
+	// the engines are pinned equivalent — it only moves the
+	// parallelism between the grid and the single replay.
+	ReplayWorkers int
 	// Metrics, when non-nil, receives pool observability from every
 	// grid fan-out (out-of-band; tables and verdicts are unchanged).
 	Metrics *obsv.Registry
@@ -54,6 +63,32 @@ func (c Config) pick(full, quick int) int {
 // pool returns the fan-out options for grid experiments.
 func (c Config) pool() parallel.Options {
 	return parallel.Options{Workers: c.Workers, Metrics: c.Metrics}
+}
+
+// replayGrid propagates a grid of models over one compiled program.
+// The default engine is the lane-batched walk (one task, K models per
+// tape pass); with ReplayWorkers > 1 each model instead runs through
+// the wavefront-slab parallel engine, with the Workers budget split
+// between outer model fan-out and intra-replay slab workers. Both
+// paths are byte-identical — the equivalence suites pin it — so the
+// switch changes scheduling only.
+func (c Config) replayGrid(prog *core.Compiled, models []*core.Model) ([]*core.Result, error) {
+	if c.ReplayWorkers <= 1 {
+		return core.ReplayBatch(prog, models, core.BatchOptions{
+			Options: core.Options{Metrics: c.Metrics},
+		})
+	}
+	outer := c.Workers
+	if outer <= 0 {
+		outer = runtime.GOMAXPROCS(0)
+	}
+	if outer = outer / c.ReplayWorkers; outer < 1 {
+		outer = 1
+	}
+	popts := parallel.Options{Workers: outer, Metrics: c.Metrics}
+	return parallel.Map(len(models), popts, func(i int) (*core.Result, error) {
+		return core.ReplayParallel(prog, models[i], core.Options{Metrics: c.Metrics}, c.ReplayWorkers)
+	})
 }
 
 // Outcome is one experiment's result.
@@ -351,9 +386,7 @@ func runSec61(cfg Config) (*Outcome, error) {
 	for i := range xs {
 		models[i] = &core.Model{MsgLatency: dist.Constant{C: xs[i]}}
 	}
-	results, err := core.ReplayBatch(prog, models, core.BatchOptions{
-		Options: core.Options{Metrics: cfg.Metrics},
-	})
+	results, err := cfg.replayGrid(prog, models)
 	if err != nil {
 		return nil, err
 	}
@@ -523,9 +556,7 @@ func runAblD(cfg Config) (*Outcome, error) {
 			Propagation: modes[t%len(modes)],
 		}
 	}
-	results, err := core.ReplayBatch(prog, grid, core.BatchOptions{
-		Options: core.Options{Metrics: cfg.Metrics},
-	})
+	results, err := cfg.replayGrid(prog, grid)
 	if err != nil {
 		return nil, err
 	}

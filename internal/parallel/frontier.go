@@ -1,0 +1,192 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Dependency-scheduled task streams.
+//
+// Map/Run fan out *independent* tasks; a Frontier coordinates tasks
+// that depend on each other's progress — the shape intra-replay
+// wavefront execution needs. The model: n ordered streams of work,
+// each stream advancing through integer positions 0..target. A stream
+// may only advance past a position once other streams have published
+// the positions it depends on; the dependency data itself lives with
+// the caller (the Frontier knows nothing about *why* stream 3 waits
+// for stream 7 — it only carries the published positions, one padded
+// atomic per stream, and drives the worker loop).
+//
+// The caller guarantees acyclicity in the useful sense: whenever any
+// stream is short of its target, at least one stream can advance
+// given the currently published positions. Under that contract Run
+// terminates for every worker count, and a single worker executes the
+// streams in a valid topological order.
+
+// frontierSlot is one stream's published position, padded out to its
+// own cache line so publication on one stream never false-shares with
+// polling on a neighbor.
+type frontierSlot struct {
+	pos atomic.Int64
+	_   [56]byte
+}
+
+// Frontier carries the published positions of n dependency-coupled
+// streams. The zero value is empty; Reset sizes it. A Frontier may be
+// pooled and reused across runs (Reset rewinds every stream to 0).
+type Frontier struct {
+	slots  []frontierSlot
+	stalls atomic.Int64
+}
+
+// Reset sizes the frontier to n streams, all at position 0, reusing
+// the existing backing when it is large enough.
+func (f *Frontier) Reset(n int) {
+	if cap(f.slots) < n {
+		f.slots = make([]frontierSlot, n)
+	}
+	f.slots = f.slots[:n]
+	for i := range f.slots {
+		f.slots[i].pos.Store(0)
+	}
+	f.stalls.Store(0)
+}
+
+// Streams returns the stream count the frontier is sized for.
+func (f *Frontier) Streams() int { return len(f.slots) }
+
+// At returns stream s's published position. All sync/atomic operations
+// are sequentially consistent (Go 1.19 memory model), so any memory
+// written by stream s before it published position p is visible to a
+// caller that observes At(s) >= p.
+//
+//mpg:hotpath
+func (f *Frontier) At(s int) int64 { return f.slots[s].pos.Load() }
+
+// Publish records stream s's new position mid-advance, making every
+// write the stream performed up to that position visible to other
+// workers' At polls. Positions must be monotone per stream; only the
+// worker currently advancing stream s may publish it.
+//
+//mpg:hotpath
+func (f *Frontier) Publish(s int, pos int64) { f.slots[s].pos.Store(pos) }
+
+// Stalls reports how many scheduler yields the last Run performed
+// (cycles in which a worker found none of its streams advanceable).
+// Purely observational.
+func (f *Frontier) Stalls() int64 { return f.stalls.Load() }
+
+// Run drives every stream to its target position across min(workers,
+// streams) goroutines; the calling goroutine is worker 0, so a
+// one-worker run spawns nothing. Streams are statically owned
+// round-robin (stream s belongs to worker s mod W): only the owner
+// calls advance for a stream, so per-stream caller state needs no
+// locking.
+//
+// advance(worker, stream) must attempt to run whatever work is ready
+// on the stream given the currently published positions of the other
+// streams (via At), publish intermediate positions as it goes if
+// other streams may depend on them, and return the stream's new
+// position; returning the prior position means the stream is blocked.
+// Workers cycle over their streams and yield the processor on cycles
+// that make no progress, so a blocked stream costs a poll, not a spin.
+//
+// If setup is non-nil every worker first runs setup(worker) — a flat
+// pre-phase sharded by worker index — and all workers rendezvous at a
+// barrier before any advance call, so advance may rely on the whole
+// setup phase being complete.
+//
+// A panic in setup or advance is captured, aborts the run (workers
+// drain at the next cycle boundary), and is returned as a *TaskError
+// wrapping a *PanicError, with Task holding the worker index.
+func (f *Frontier) Run(workers int, targets []int64, setup func(worker int), advance func(worker, stream int) int64) error {
+	n := len(f.slots)
+	if n == 0 {
+		return nil
+	}
+	if len(targets) < n {
+		panic("parallel: Frontier.Run targets shorter than stream count")
+	}
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+
+	var aborted atomic.Bool
+	errs := make([]error, w)
+	var barrier sync.WaitGroup
+	if setup != nil {
+		barrier.Add(w)
+	}
+
+	run := func(me int) {
+		defer func() {
+			if v := recover(); v != nil {
+				buf := make([]byte, 8192)
+				buf = buf[:runtime.Stack(buf, false)]
+				errs[me] = &PanicError{Value: v, Stack: buf}
+				aborted.Store(true)
+			}
+		}()
+		if setup != nil {
+			func() {
+				// The barrier must drop even if setup panics, or the
+				// remaining workers would wait forever; the panic then
+				// propagates to the recover above and flags the abort
+				// the other workers check after the rendezvous.
+				defer barrier.Done()
+				setup(me)
+			}()
+			barrier.Wait()
+		}
+		var stalls int64
+		defer func() { f.stalls.Add(stalls) }()
+		for {
+			if aborted.Load() {
+				return
+			}
+			progressed := false
+			done := true
+			for s := me; s < n; s += w {
+				cur := f.slots[s].pos.Load()
+				if cur >= targets[s] {
+					continue
+				}
+				done = false
+				if np := advance(me, s); np > cur {
+					f.slots[s].pos.Store(np)
+					progressed = true
+				}
+			}
+			if done {
+				return
+			}
+			if !progressed {
+				stalls++
+				runtime.Gosched()
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for k := 1; k < w; k++ {
+		go func(me int) {
+			defer wg.Done()
+			run(me)
+		}(k)
+	}
+	run(0)
+	wg.Wait()
+
+	for me, err := range errs {
+		if err != nil {
+			return &TaskError{Task: me, Err: err}
+		}
+	}
+	return nil
+}

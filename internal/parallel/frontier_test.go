@@ -1,0 +1,152 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// chainDeps models n streams where stream s may only pass position p
+// once stream s-1 has published p+1 — a strict diagonal wavefront, the
+// worst case for the frontier (every step couples adjacent streams).
+func chainAdvance(f *Frontier, n int, L int64, hits *atomic.Int64) func(worker, stream int) int64 {
+	return func(_, s int) int64 {
+		pos := f.At(s)
+		for pos < L {
+			if s > 0 && f.At(s-1) < pos+1 {
+				break
+			}
+			pos++
+			hits.Add(1)
+			f.Publish(s, pos)
+		}
+		return pos
+	}
+}
+
+// TestFrontierChainCompletes drives a diagonal dependency chain at
+// several worker counts; every stream must reach its target and the
+// total step count must be exactly n*L (no step runs twice).
+func TestFrontierChainCompletes(t *testing.T) {
+	const n, L = 7, 23
+	targets := make([]int64, n)
+	for i := range targets {
+		targets[i] = L
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		var f Frontier
+		f.Reset(n)
+		var hits atomic.Int64
+		if err := f.Run(workers, targets, nil, chainAdvance(&f, n, L, &hits)); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := hits.Load(); got != n*L {
+			t.Fatalf("workers=%d: %d steps executed, want %d", workers, got, n*L)
+		}
+		for s := 0; s < n; s++ {
+			if f.At(s) != L {
+				t.Fatalf("workers=%d: stream %d stopped at %d", workers, s, f.At(s))
+			}
+		}
+	}
+}
+
+// TestFrontierSetupBarrier verifies every worker's setup shard runs
+// before any advance call observes the shared state.
+func TestFrontierSetupBarrier(t *testing.T) {
+	const n = 6
+	var f Frontier
+	f.Reset(n)
+	targets := make([]int64, n)
+	ready := make([]atomic.Bool, n)
+	for i := range targets {
+		targets[i] = 1
+	}
+	var violations atomic.Int64
+	err := f.Run(3, targets,
+		func(me int) {
+			for s := me; s < n; s += 3 {
+				ready[s].Store(true)
+			}
+		},
+		func(_, s int) int64 {
+			for i := range ready {
+				if !ready[i].Load() {
+					violations.Add(1)
+				}
+			}
+			return 1
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d advance calls ran before setup completed", v)
+	}
+}
+
+// TestFrontierPanicPropagates pins the abort path: a panicking
+// advance must surface as a TaskError wrapping a PanicError and must
+// not hang the other workers.
+func TestFrontierPanicPropagates(t *testing.T) {
+	const n = 4
+	var f Frontier
+	f.Reset(n)
+	targets := []int64{8, 8, 8, 8}
+	err := f.Run(4, targets, nil, func(_, s int) int64 {
+		if s == 2 {
+			panic("slab exploded")
+		}
+		return f.At(s) + 1
+	})
+	if err == nil {
+		t.Fatal("expected an error from the panicking stream")
+	}
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %T is not a *TaskError", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v does not wrap a *PanicError", err)
+	}
+}
+
+// TestFrontierSetupPanicReleasesBarrier pins the barrier-drop rule: a
+// panic inside setup must not leave the remaining workers waiting at
+// the rendezvous forever.
+func TestFrontierSetupPanicReleasesBarrier(t *testing.T) {
+	const n = 4
+	var f Frontier
+	f.Reset(n)
+	targets := []int64{1, 1, 1, 1}
+	err := f.Run(4, targets,
+		func(me int) {
+			if me == 1 {
+				panic("setup exploded")
+			}
+		},
+		func(_, s int) int64 { return 1 })
+	if err == nil {
+		t.Fatal("expected an error from the panicking setup shard")
+	}
+}
+
+// TestFrontierSingleWorkerTopological: one worker must complete any
+// acyclic schedule alone (the deadlock-freedom degenerate case).
+func TestFrontierSingleWorkerTopological(t *testing.T) {
+	const n, L = 5, 11
+	targets := make([]int64, n)
+	for i := range targets {
+		targets[i] = L
+	}
+	var f Frontier
+	f.Reset(n)
+	var hits atomic.Int64
+	if err := f.Run(1, targets, nil, chainAdvance(&f, n, L, &hits)); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != n*L {
+		t.Fatalf("single worker executed %d steps, want %d", hits.Load(), n*L)
+	}
+}

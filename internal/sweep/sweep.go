@@ -13,6 +13,7 @@ package sweep
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -121,13 +122,27 @@ type Config struct {
 	// ReplayLanes sets the lane width of batched compiled trials: each
 	// worker task walks a point's compiled tape once while propagating
 	// up to ReplayLanes trial models simultaneously (core.ReplayBatch).
-	// Zero auto-picks core.DefaultReplayLanes; 1 forces the pooled
-	// single-replay path. Lane packing never changes any result — every
-	// lane is byte-identical to a standalone replay with the same
-	// derived trial seed — it only changes how trials map onto worker
-	// tasks. Streaming trials (and trials with a Trajectory sink, whose
-	// per-replay point streams must stay un-interleaved) ignore it.
+	// Zero (the default) runs the pooled single-replay path — since the
+	// draw-specialization work the scalar replay is faster per trial
+	// than the K=16 batch (DESIGN.md §8.1), so batching is opt-in: set
+	// ReplayLanes > 1 explicitly to pack trials per tape walk. Lane
+	// packing never changes any result — every lane is byte-identical
+	// to a standalone replay with the same derived trial seed — it only
+	// changes how trials map onto worker tasks. Streaming trials (and
+	// trials with a Trajectory sink, whose per-replay point streams
+	// must stay un-interleaved) ignore it.
 	ReplayLanes int
+	// ReplayWorkers sets the intra-replay worker count of compiled
+	// Monte Carlo trials: when > 1 each trial runs through the
+	// wavefront-slab parallel engine (core.ReplayParallel) on up to
+	// ReplayWorkers cores, and the outer trial pool is shrunk to
+	// max(1, Workers/ReplayWorkers) so the total concurrency budget
+	// stays ~Workers (inter-replay × intra-replay). Useful when points
+	// × trials is small relative to the core count — few big replays —
+	// otherwise trial fan-out already saturates the machine. Results
+	// are byte-identical for every setting. Streaming trials and
+	// lane-batched trials (ReplayLanes > 1) ignore it.
+	ReplayWorkers int
 	// Metrics, when non-nil, receives sweep observability: tracing
 	// phase timers, point/trial counters, the pool metrics (it is
 	// passed into the worker pool), and — unless Analyze.Metrics is
@@ -346,7 +361,13 @@ func (cfg Config) runTrials(vals []float64, popts parallel.Options) ([]Point, er
 	cfg.Metrics.Counter("sweep_trials_total").Add(int64(len(vals) * trials))
 	if !streaming {
 		cfg.Metrics.Counter("sweep_compiled_points_total").Add(int64(len(vals)))
-		lanes := core.PickReplayLanes(cfg.ReplayLanes, trials)
+		// Batching is opt-in (ReplayLanes > 0): the specialized scalar
+		// replay now outruns the lane batch per trial, so auto means
+		// scalar. See Config.ReplayLanes and DESIGN.md §8.1.
+		lanes := 1
+		if cfg.ReplayLanes > 0 {
+			lanes = core.PickReplayLanes(cfg.ReplayLanes, trials)
+		}
 		if cfg.Analyze.Trajectory != nil {
 			// A trajectory sink observes one replay's points in order;
 			// lane batching would interleave trials within a task.
@@ -355,6 +376,21 @@ func (cfg Config) runTrials(vals []float64, popts parallel.Options) ([]Point, er
 		if lanes > 1 {
 			return cfg.runBatchedTrials(vals, progs, popts, lanes)
 		}
+	}
+	replayWorkers := 1
+	if !streaming && cfg.ReplayWorkers > 1 {
+		// Split the concurrency budget between trial fan-out and
+		// intra-replay slab workers: outer × inner ≈ Workers.
+		replayWorkers = cfg.ReplayWorkers
+		outer := cfg.Workers
+		if outer <= 0 {
+			outer = runtime.GOMAXPROCS(0)
+		}
+		if outer = outer / replayWorkers; outer < 1 {
+			outer = 1
+		}
+		popts.Workers = outer
+		cfg.Metrics.Gauge("sweep_replay_workers").SetMax(float64(replayWorkers))
 	}
 	tick := cfg.progressTick(len(vals) * trials)
 	results, err := parallel.Map(len(vals)*trials, popts, func(t int) (*core.Result, error) {
@@ -386,7 +422,11 @@ func (cfg Config) runTrials(vals []float64, popts parallel.Options) ([]Point, er
 		if err != nil {
 			return nil, err
 		}
-		res, err = core.ReplayCompiled(prog, trial, cfg.Analyze)
+		if replayWorkers > 1 {
+			res, err = core.ReplayParallel(prog, trial, cfg.Analyze, replayWorkers)
+		} else {
+			res, err = core.ReplayCompiled(prog, trial, cfg.Analyze)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("sweep: value %g trial %d: %w", v, t%trials, err)
 		}

@@ -141,9 +141,10 @@ func TestMetricsAndProgress(t *testing.T) {
 		Machine:         machine.Config{NRanks: 4, Seed: 5},
 		Param:           ParamLatency,
 		From:            0, To: 200, Step: 100,
-		Trials:  3,
-		Workers: 2,
-		Metrics: reg,
+		Trials:      3,
+		Workers:     2,
+		ReplayLanes: 16, // opt in to lane batching; auto is scalar now
+		Metrics:     reg,
 		Progress: func(done, total int) {
 			mu.Lock()
 			defer mu.Unlock()

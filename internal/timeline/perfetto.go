@@ -19,7 +19,9 @@ import (
 // second process group. Events are emitted one per line in a fixed
 // order derived only from the timeline's content, so the same replay
 // always produces byte-identical output — the golden test pins this
-// across the streaming, compiled, and batched engines.
+// across the streaming, compiled, batched, and wavefront-slab parallel
+// engines (the parallel engine's replay_slabs/replay_finalize phase
+// spans ride the same generic engine-span process).
 //
 // Timestamps on the simulated-rank process (pid 1) are in simulated
 // cycles, not microseconds; viewers render them fine, the unit label is

@@ -61,6 +61,14 @@ func CheckScenario(sc *Scenario) []string {
 			failures = append(failures, "compiled-batch: "+f)
 		}
 	}
+	pf, err := CompiledParallelEquivalence(sc)
+	if err != nil {
+		failures = append(failures, fmt.Sprintf("compiled-parallel: %v", err))
+	} else {
+		for _, f := range pf {
+			failures = append(failures, "compiled-parallel: "+f)
+		}
+	}
 	tf, err := TimelineInvariant(sc)
 	if err != nil {
 		failures = append(failures, fmt.Sprintf("timeline: %v", err))
