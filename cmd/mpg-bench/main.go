@@ -22,6 +22,14 @@
 // BENCH_sampler.json:
 //
 //	mpg-bench -sampler -out BENCH_sampler.json
+//
+// With -lint it benchmarks the static-analysis suite itself against
+// this repository — load, call-graph construction, and each analyzer
+// timed separately, with the call-graph edge mix recorded as a
+// precision trend line — and writes BENCH_lint.json. The run fails if
+// the suite reports outstanding findings:
+//
+//	mpg-bench -lint -out BENCH_lint.json
 package main
 
 import (
@@ -53,6 +61,8 @@ func run(args []string) error {
 	bwBytes := fs.Int64("bandwidth-bytes", 1<<20, "bandwidth probe message size")
 	bwSamples := fs.Int("bandwidth-samples", 50, "bandwidth probe sample count")
 	replay := fs.Bool("replay", false, "benchmark the replay engines instead of probing the platform")
+	lint := fs.Bool("lint", false, "benchmark the static-analysis suite against this repository and write BENCH_lint.json")
+	lintTrials := fs.Int("lint-trials", 3, "analysis runs per lint benchmark")
 	sampler := fs.Bool("sampler", false, "benchmark the distribution samplers (ziggurat vs exact reference, scalar vs lane-batched) and write BENCH_sampler.json")
 	samplerDraws := fs.Int("sampler-draws", 2_000_000, "draws per sampler benchmark case")
 	replayBatch := fs.Bool("replay-batch", false, "with -replay (implied): also sweep the lane-batched replay engine over K=1,4,16,64, gated on batch-vs-single equivalence")
@@ -66,6 +76,13 @@ func run(args []string) error {
 	replaySeed := fs.Uint64("replay-seed", 1, "trace and model seed for the replay benchmark")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *lint {
+		path := *out
+		if path == "" {
+			path = "BENCH_lint.json"
+		}
+		return runLint(lintConfig{trials: *lintTrials, out: path})
 	}
 	if *sampler {
 		path := *out

@@ -5,6 +5,8 @@
 //
 //	mpg-lint ./...                 # text report, exit 1 on findings
 //	mpg-lint -json ./...           # machine-readable report on stdout
+//	mpg-lint -format sarif ./...   # SARIF 2.1.0 on stdout (code scanning)
+//	mpg-lint -sarif-out f.sarif    # also write the SARIF log to a file
 //	mpg-lint -list                 # describe the analyzers
 //	mpg-lint -write-baseline ./... # absorb current findings
 //
@@ -17,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mpgraph/internal/analysis"
@@ -30,8 +33,10 @@ func main() {
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("mpg-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text (alias for -format json)")
+	format := fs.String("format", "", "report format on stdout: text (default), json, sarif")
 	outPath := fs.String("out", "", "also write the JSON report to this file")
+	sarifPath := fs.String("sarif-out", "", "also write the SARIF 2.1.0 report to this file")
 	baselinePath := fs.String("baseline", "lint.baseline.json", "baseline file (missing file = empty baseline)")
 	writeBaseline := fs.Bool("write-baseline", false, "absorb all current findings into the baseline file and exit 0")
 	list := fs.Bool("list", false, "list the analyzers and exit")
@@ -79,29 +84,41 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 0
 	}
 
+	stdoutFormat := *format
+	if stdoutFormat == "" {
+		if *jsonOut {
+			stdoutFormat = "json"
+		} else {
+			stdoutFormat = "text"
+		}
+	}
+	var render func(*report.LintReport, *os.File) error
+	switch stdoutFormat {
+	case "text":
+		render = func(r *report.LintReport, f *os.File) error { return r.WriteText(f) }
+	case "json":
+		render = func(r *report.LintReport, f *os.File) error { return r.WriteJSON(f) }
+	case "sarif":
+		render = func(r *report.LintReport, f *os.File) error { return r.WriteSARIF(f) }
+	default:
+		fmt.Fprintf(stderr, "mpg-lint: unknown format %q (want text, json or sarif)\n", stdoutFormat)
+		return 2
+	}
+
 	rep := buildReport(res, analyzers)
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			fmt.Fprintln(stderr, "mpg-lint:", err)
-			return 2
-		}
-		if err := rep.WriteJSON(f); err != nil {
-			f.Close()
-			fmt.Fprintln(stderr, "mpg-lint:", err)
-			return 2
-		}
-		if err := f.Close(); err != nil {
+		if err := writeReportFile(*outPath, rep.WriteJSON); err != nil {
 			fmt.Fprintln(stderr, "mpg-lint:", err)
 			return 2
 		}
 	}
-	if *jsonOut {
-		if err := rep.WriteJSON(stdout); err != nil {
+	if *sarifPath != "" {
+		if err := writeReportFile(*sarifPath, rep.WriteSARIF); err != nil {
 			fmt.Fprintln(stderr, "mpg-lint:", err)
 			return 2
 		}
-	} else if err := rep.WriteText(stdout); err != nil {
+	}
+	if err := render(rep, stdout); err != nil {
 		fmt.Fprintln(stderr, "mpg-lint:", err)
 		return 2
 	}
@@ -111,10 +128,23 @@ func run(args []string, stdout, stderr *os.File) int {
 	return 0
 }
 
+func writeReportFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func buildReport(res *analysis.Result, analyzers []*analysis.Analyzer) *report.LintReport {
 	rep := &report.LintReport{Packages: res.Packages}
 	for _, a := range analyzers {
 		rep.Analyzers = append(rep.Analyzers, a.Name)
+		rep.AnalyzerDocs = append(rep.AnalyzerDocs, a.Doc)
 	}
 	for _, d := range res.Diagnostics {
 		rep.Diagnostics = append(rep.Diagnostics, report.LintDiagnostic{
@@ -122,7 +152,9 @@ func buildReport(res *analysis.Result, analyzers []*analysis.Analyzer) *report.L
 			File:       d.File,
 			Line:       d.Line,
 			Col:        d.Col,
+			Func:       d.Func,
 			Message:    d.Message,
+			Severity:   d.Severity,
 			Suppressed: d.Suppressed,
 			Reason:     d.Reason,
 			Baselined:  d.Baselined,

@@ -20,11 +20,18 @@
 //	    hot path; the hotpathalloc analyzer then forbids allocating
 //	    constructs in its body.
 //
-//	//mpg:lint-ignore <analyzer> <reason>
-//	    suppresses one analyzer's diagnostics, either on the same
-//	    line (trailing comment) or — as a standalone comment — for
-//	    the whole statement or declaration that starts on the next
-//	    line. The reason is mandatory and is carried into reports.
+//	//mpg:lint-ignore <analyzer>[,<analyzer>...] <reason>
+//	    suppresses the named analyzers' diagnostics, either on the
+//	    same line (trailing comment) or — as a standalone comment —
+//	    for the whole statement or declaration that starts on the
+//	    next non-directive line (standalone directives stack). The
+//	    reason is mandatory and is carried into reports. For the
+//	    interprocedural analyzers (hotpathprop, detreach) a
+//	    suppression on a call site additionally prunes that call
+//	    edge from the reachability closure, so one justified
+//	    boundary (e.g. an out-of-band metrics call) stops the whole
+//	    transitive walk instead of requiring suppressions in every
+//	    function behind it.
 package analysis
 
 import (
@@ -57,7 +64,14 @@ type Analyzer struct {
 	// exemption wins over scope.
 	Exempt []string
 	// Run performs the check, reporting findings via pass.Report.
+	// File-local analyzers set Run; it is invoked once per in-scope
+	// package.
 	Run func(pass *Pass)
+	// RunModule, when set, marks an interprocedural analyzer: it is
+	// invoked exactly once per run with every loaded package and the
+	// shared call graph, and Run/Scope/Exempt are ignored (module
+	// analyzers scope themselves).
+	RunModule func(pass *ModulePass)
 }
 
 // appliesTo reports whether the analyzer should run on a package.
@@ -103,9 +117,51 @@ func (p *Pass) Report(pos token.Pos, format string, args ...interface{}) {
 		File:     position.Filename,
 		Line:     position.Line,
 		Col:      position.Column,
+		Func:     enclosingFuncName(p.Pkg, pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
+
+// ModulePass carries one interprocedural analyzer's view of the whole
+// loaded module: every package plus the shared call graph.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Graph    *CallGraph
+
+	report func(Diagnostic)
+}
+
+// Report records a gating finding at the given position, resolving
+// the owning package from the graph's shared FileSet.
+func (p *ModulePass) Report(pkg *Package, pos token.Pos, format string, args ...interface{}) {
+	p.reportSeverity(pkg, pos, "", format, args...)
+}
+
+// ReportInfo records an advisory (non-gating) finding.
+func (p *ModulePass) ReportInfo(pkg *Package, pos token.Pos, format string, args ...interface{}) {
+	p.reportSeverity(pkg, pos, SeverityInfo, format, args...)
+}
+
+func (p *ModulePass) reportSeverity(pkg *Package, pos token.Pos, severity, format string, args ...interface{}) {
+	position := pkg.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Func:     enclosingFuncName(pkg, pos),
+		Message:  fmt.Sprintf(format, args...),
+		Severity: severity,
+	})
+}
+
+// SeverityInfo marks advisory findings (annotation-completeness
+// nudges, unprovable-determinism notes). Info diagnostics appear in
+// reports but never gate: Outstanding skips them and baselines do not
+// absorb them. The empty severity is an error (gating), so existing
+// analyzers and serialized reports keep their meaning.
+const SeverityInfo = "info"
 
 // Diagnostic is one finding, positioned in the source tree. File is
 // the path as the loader saw it (module-relative when loaded through
@@ -115,7 +171,14 @@ type Diagnostic struct {
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
-	Message  string `json:"message"`
+	// Func is the enclosing function or method name at the position
+	// ("" at file scope). It keys baseline fingerprints, so a finding
+	// stays pinned to its function when unrelated code moves it.
+	Func    string `json:"func,omitempty"`
+	Message string `json:"message"`
+	// Severity is "" for gating findings and SeverityInfo for
+	// advisory ones.
+	Severity string `json:"severity,omitempty"`
 
 	// Suppressed is set when an //mpg:lint-ignore directive covers
 	// the diagnostic; Reason carries the directive's justification.
@@ -124,6 +187,49 @@ type Diagnostic struct {
 	// Baselined is set when the committed baseline absorbs the
 	// diagnostic.
 	Baselined bool `json:"baselined,omitempty"`
+}
+
+// enclosingFuncName names the function or method declaration whose
+// body (or signature) spans pos: "Func" for functions,
+// "(Recv).Method" for methods, "" at file scope.
+func enclosingFuncName(pkg *Package, pos token.Pos) string {
+	for _, f := range pkg.Files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || pos < fn.Pos() || pos > fn.End() {
+				continue
+			}
+			return funcDeclName(fn)
+		}
+	}
+	return ""
+}
+
+// funcDeclName renders a declaration's name with its receiver type.
+func funcDeclName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	return "(" + recvTypeName(fn.Recv.List[0].Type) + ")." + fn.Name.Name
+}
+
+// recvTypeName renders a receiver type expression ("T", "*T";
+// generic receivers drop their type parameters).
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + recvTypeName(t.X)
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return "?"
 }
 
 // sortDiagnostics orders findings by file, line, column, analyzer for
@@ -160,8 +266,10 @@ type suppression struct {
 // collectSuppressions parses every //mpg:lint-ignore directive in a
 // file. A trailing directive covers its own line; a standalone
 // directive covers the whole statement or declaration beginning on
-// the next non-comment line (so one directive can cover a multi-line
-// composite literal).
+// the next non-directive line (so one directive covers a multi-line
+// composite literal, and standalone directives for different
+// analyzers stack above one statement). A directive naming several
+// analyzers (comma-separated) yields one suppression per name.
 func collectSuppressions(fset *token.FileSet, f *ast.File) []suppression {
 	var out []suppression
 	// Line spans of statements/declarations, for standalone
@@ -178,6 +286,17 @@ func collectSuppressions(fset *token.FileSet, f *ast.File) []suppression {
 		}
 		return true
 	})
+	// Lines holding standalone directives, so a stack of directives
+	// above one statement all skip forward to the statement itself.
+	directiveLines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, DirectiveIgnore) &&
+				(fset.Position(c.Pos()).Column == 1 || standsAlone(fset, f, c)) {
+				directiveLines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
 	coveredThrough := func(startLine int) int {
 		// The largest last-line among nodes starting on startLine.
 		last := startLine
@@ -194,20 +313,26 @@ func collectSuppressions(fset *token.FileSet, f *ast.File) []suppression {
 				continue
 			}
 			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, DirectiveIgnore))
-			name, reason, _ := strings.Cut(rest, " ")
+			names, reason, _ := strings.Cut(rest, " ")
 			line := fset.Position(c.Pos()).Line
-			s := suppression{
-				analyzer:  name,
-				reason:    strings.TrimSpace(reason),
-				firstLine: line,
-				lastLine:  line,
+			first, last := line, line
+			if directiveLines[line] {
+				// Standalone comment: cover the next node, skipping any
+				// further stacked directives in between.
+				first = line + 1
+				for directiveLines[first] {
+					first++
+				}
+				last = coveredThrough(first)
 			}
-			if fset.Position(c.Pos()).Column == 1 || standsAlone(fset, f, c) {
-				// Standalone comment: also cover the next node.
-				s.firstLine = line + 1
-				s.lastLine = coveredThrough(line + 1)
+			for _, name := range strings.Split(names, ",") {
+				out = append(out, suppression{
+					analyzer:  strings.TrimSpace(name),
+					reason:    strings.TrimSpace(reason),
+					firstLine: first,
+					lastLine:  last,
+				})
 			}
-			out = append(out, s)
 		}
 	}
 	return out

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,20 +12,41 @@ import (
 // Baseline is the committed debt ledger: diagnostics recorded here
 // are reported but do not gate. The repo ships an *empty* baseline —
 // the suite landed clean — so any entry added later is a visible,
-// reviewable IOU. Matching is by (analyzer, file, message) with
-// per-key counts, deliberately ignoring line numbers so unrelated
-// edits above a baselined finding don't resurrect it.
+// reviewable IOU.
+//
+// Matching is by stable fingerprint: a hash of (analyzer, file,
+// enclosing function, message), deliberately line-number-agnostic so
+// unrelated edits above a baselined finding don't resurrect it, but
+// function-keyed so fixing one violation while introducing a
+// *different* one in the same file can never net out to zero.
+// Entries without a fingerprint fall back to the legacy per-key
+// count-absorb on (analyzer, file, message) — kept only so old
+// baseline files keep loading; Fingerprint entries win first.
 type Baseline struct {
 	Entries []BaselineEntry `json:"entries"`
 }
 
 // BaselineEntry is one absorbed diagnostic shape. Count allows
-// multiple identical findings in one file.
+// multiple identical findings in one function (fingerprint entries)
+// or file (legacy entries).
 type BaselineEntry struct {
 	Analyzer string `json:"analyzer"`
 	File     string `json:"file"`
-	Message  string `json:"message"`
-	Count    int    `json:"count"`
+	// Func is the enclosing function of the absorbed finding; part of
+	// the fingerprint, recorded for review legibility.
+	Func    string `json:"func,omitempty"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+	// Fingerprint is hex(sha256(analyzer|file|func|message))[:16].
+	// Empty on legacy entries, which degrade to count-absorb keyed by
+	// (analyzer, file, message) only.
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// Fingerprint computes the stable identity of a diagnostic shape.
+func Fingerprint(analyzer, file, fn, message string) string {
+	h := sha256.Sum256([]byte(analyzer + "\x00" + file + "\x00" + fn + "\x00" + message))
+	return hex.EncodeToString(h[:8])
 }
 
 func baselineKey(analyzer, file, message string) string {
@@ -52,16 +75,7 @@ func (b *Baseline) Save(path string) error {
 	if b.Entries == nil {
 		b.Entries = []BaselineEntry{}
 	}
-	sort.Slice(b.Entries, func(i, j int) bool {
-		a, c := b.Entries[i], b.Entries[j]
-		if a.File != c.File {
-			return a.File < c.File
-		}
-		if a.Analyzer != c.Analyzer {
-			return a.Analyzer < c.Analyzer
-		}
-		return a.Message < c.Message
-	})
+	sortBaselineEntries(b.Entries)
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return err
@@ -69,54 +83,77 @@ func (b *Baseline) Save(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// absorb marks diagnostics matched by the baseline, consuming counts
-// so the baseline never hides more findings than it records.
-func (b *Baseline) absorb(diags []Diagnostic) {
-	remaining := map[string]int{}
-	for _, e := range b.Entries {
-		n := e.Count
-		if n <= 0 {
-			n = 1
-		}
-		remaining[baselineKey(e.Analyzer, e.File, e.Message)] += n
-	}
-	for i := range diags {
-		d := &diags[i]
-		if d.Suppressed {
-			continue
-		}
-		k := baselineKey(d.Analyzer, d.File, d.Message)
-		if remaining[k] > 0 {
-			remaining[k]--
-			d.Baselined = true
-		}
-	}
-}
-
-// FromDiagnostics builds a baseline absorbing every outstanding
-// diagnostic in ds (suppressed ones are already handled in source).
-func FromDiagnostics(ds []Diagnostic) *Baseline {
-	counts := map[BaselineEntry]int{}
-	for _, d := range ds {
-		if d.Suppressed {
-			continue
-		}
-		counts[BaselineEntry{Analyzer: d.Analyzer, File: d.File, Message: d.Message}]++
-	}
-	b := &Baseline{}
-	for e, n := range counts {
-		e.Count = n
-		b.Entries = append(b.Entries, e)
-	}
-	sort.Slice(b.Entries, func(i, j int) bool {
-		a, c := b.Entries[i], b.Entries[j]
+func sortBaselineEntries(es []BaselineEntry) {
+	sort.Slice(es, func(i, j int) bool {
+		a, c := es[i], es[j]
 		if a.File != c.File {
 			return a.File < c.File
+		}
+		if a.Func != c.Func {
+			return a.Func < c.Func
 		}
 		if a.Analyzer != c.Analyzer {
 			return a.Analyzer < c.Analyzer
 		}
 		return a.Message < c.Message
 	})
+}
+
+// absorb marks diagnostics matched by the baseline, consuming counts
+// so the baseline never hides more findings than it records.
+// Fingerprint entries match first (analyzer+file+function+message);
+// legacy entries without a fingerprint count-absorb by (analyzer,
+// file, message) afterwards. Info diagnostics never gate, so the
+// baseline ignores them.
+func (b *Baseline) absorb(diags []Diagnostic) {
+	byFingerprint := map[string]int{}
+	legacy := map[string]int{}
+	for _, e := range b.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		if e.Fingerprint != "" {
+			byFingerprint[e.Fingerprint] += n
+		} else {
+			legacy[baselineKey(e.Analyzer, e.File, e.Message)] += n
+		}
+	}
+	for i := range diags {
+		d := &diags[i]
+		if d.Suppressed || d.Severity == SeverityInfo {
+			continue
+		}
+		if fp := Fingerprint(d.Analyzer, d.File, d.Func, d.Message); byFingerprint[fp] > 0 {
+			byFingerprint[fp]--
+			d.Baselined = true
+			continue
+		}
+		k := baselineKey(d.Analyzer, d.File, d.Message)
+		if legacy[k] > 0 {
+			legacy[k]--
+			d.Baselined = true
+		}
+	}
+}
+
+// FromDiagnostics builds a fingerprinted baseline absorbing every
+// outstanding diagnostic in ds (suppressed ones are already handled
+// in source; info ones never gate).
+func FromDiagnostics(ds []Diagnostic) *Baseline {
+	counts := map[BaselineEntry]int{}
+	for _, d := range ds {
+		if d.Suppressed || d.Severity == SeverityInfo {
+			continue
+		}
+		counts[BaselineEntry{Analyzer: d.Analyzer, File: d.File, Func: d.Func, Message: d.Message}]++
+	}
+	b := &Baseline{}
+	for e, n := range counts {
+		e.Count = n
+		e.Fingerprint = Fingerprint(e.Analyzer, e.File, e.Func, e.Message)
+		b.Entries = append(b.Entries, e)
+	}
+	sortBaselineEntries(b.Entries)
 	return b
 }

@@ -1,0 +1,156 @@
+package analysis
+
+import "testing"
+
+// TestBaselineFingerprintPreventsSwap is the regression test for the
+// fingerprinting fix: under the legacy (analyzer, file, message)
+// count-absorb, fixing a baselined violation in one function while
+// introducing the same-shaped violation in another function netted
+// out to zero — the baseline silently migrated to cover the new bug.
+// Fingerprints key on the enclosing function, so the swap surfaces.
+func TestBaselineFingerprintPreventsSwap(t *testing.T) {
+	const (
+		file = "internal/core/x.go"
+		msg  = "exact floating-point comparison (==) on sampled times; compare |a-b| against an epsilon"
+	)
+	recorded := []Diagnostic{{Analyzer: "floateq", File: file, Func: "oldOffender", Message: msg}}
+	bl := FromDiagnostics(recorded)
+
+	// The swap: oldOffender was fixed, newOffender picked up the
+	// identical message in the same file.
+	swapped := []Diagnostic{{Analyzer: "floateq", File: file, Func: "newOffender", Message: msg}}
+	bl.absorb(swapped)
+	if swapped[0].Baselined {
+		t.Error("fingerprinted baseline absorbed a same-shaped finding from a different function (swap netted to zero)")
+	}
+
+	// The recorded shape itself still absorbs.
+	same := []Diagnostic{{Analyzer: "floateq", File: file, Func: "oldOffender", Message: msg}}
+	bl.absorb(same)
+	if !same[0].Baselined {
+		t.Error("fingerprinted baseline failed to absorb the exact recorded shape")
+	}
+}
+
+// TestBaselineLegacyEntriesStillLoad: entries without a fingerprint
+// (old baseline files) degrade to the per-key count-absorb so they
+// keep working — with the documented blind spot the fingerprint fixes.
+func TestBaselineLegacyEntriesStillLoad(t *testing.T) {
+	const (
+		file = "internal/core/x.go"
+		msg  = "exact floating-point comparison (==)"
+	)
+	legacy := &Baseline{Entries: []BaselineEntry{{Analyzer: "floateq", File: file, Message: msg, Count: 1}}}
+	ds := []Diagnostic{
+		{Analyzer: "floateq", File: file, Func: "anyFunc", Message: msg},
+		{Analyzer: "floateq", File: file, Func: "otherFunc", Message: msg},
+	}
+	legacy.absorb(ds)
+	if !ds[0].Baselined {
+		t.Error("legacy entry did not absorb by (analyzer, file, message)")
+	}
+	if ds[1].Baselined {
+		t.Error("legacy entry absorbed more findings than its count records")
+	}
+}
+
+// TestBaselineFingerprintWinsOverLegacy: when both entry kinds match,
+// the fingerprint entry is consumed first, leaving the legacy count
+// for findings the fingerprint cannot claim.
+func TestBaselineFingerprintWinsOverLegacy(t *testing.T) {
+	const (
+		file = "internal/core/x.go"
+		msg  = "exact floating-point comparison (==)"
+	)
+	bl := &Baseline{Entries: []BaselineEntry{
+		{Analyzer: "floateq", File: file, Func: "pinned", Message: msg, Count: 1,
+			Fingerprint: Fingerprint("floateq", file, "pinned", msg)},
+		{Analyzer: "floateq", File: file, Message: msg, Count: 1},
+	}}
+	ds := []Diagnostic{
+		{Analyzer: "floateq", File: file, Func: "pinned", Message: msg},
+		{Analyzer: "floateq", File: file, Func: "drifter", Message: msg},
+		{Analyzer: "floateq", File: file, Func: "third", Message: msg},
+	}
+	bl.absorb(ds)
+	if !ds[0].Baselined || !ds[1].Baselined {
+		t.Errorf("want fingerprint to claim the pinned finding and legacy the next, got %v %v", ds[0].Baselined, ds[1].Baselined)
+	}
+	if ds[2].Baselined {
+		t.Error("absorbed beyond the recorded counts")
+	}
+}
+
+// TestBaselineIgnoresInfoAndSuppressed: the ledger records gating debt
+// only; advisories and in-source suppressions never consume counts.
+func TestBaselineIgnoresInfoAndSuppressed(t *testing.T) {
+	const (
+		file = "internal/core/x.go"
+		msg  = "some finding"
+	)
+	bl := FromDiagnostics([]Diagnostic{
+		{Analyzer: "detreach", File: file, Func: "f", Message: msg, Severity: SeverityInfo},
+		{Analyzer: "detreach", File: file, Func: "f", Message: msg, Suppressed: true},
+	})
+	if len(bl.Entries) != 0 {
+		t.Fatalf("info/suppressed findings leaked into the baseline: %+v", bl.Entries)
+	}
+	ds := []Diagnostic{{Analyzer: "detreach", File: file, Func: "f", Message: msg, Severity: SeverityInfo}}
+	(&Baseline{Entries: []BaselineEntry{{Analyzer: "detreach", File: file, Message: msg, Count: 1}}}).absorb(ds)
+	if ds[0].Baselined {
+		t.Error("baseline absorbed an info diagnostic; advisories never gate and never consume counts")
+	}
+}
+
+// TestStackedDirectives: standalone directives for different analyzers
+// stack above one statement and each covers the full statement span.
+func TestStackedDirectives(t *testing.T) {
+	res := runFixture(t, FloateqAnalyzer, nondetScope, "internal/core/fixture/stack.go", `package fixture
+
+func Stacked(a, b float64) bool {
+	//mpg:lint-ignore nondet unrelated analyzer stacked above the same statement
+	//mpg:lint-ignore floateq demonstration fixture for stacked standalone directives
+	x := a == b
+	return x
+}
+`)
+	if out := res.Outstanding(); len(out) != 0 {
+		t.Fatalf("stacked directive did not reach past its sibling:\n%s", formatDiags(out))
+	}
+	wantSuppressed(t, res, 1)
+}
+
+// TestCommaDirective: one directive naming several analyzers yields a
+// suppression per name (the form every pruned call-graph boundary in
+// the repo uses).
+func TestCommaDirective(t *testing.T) {
+	res := runFixture(t, HotPathPropAnalyzer, "mpgraph/internal/core/fixture", "internal/core/fixture/comma.go", `package fixture
+
+//mpg:hotpath
+func Root() {
+	//mpg:lint-ignore hotpathprop,detreach shared out-of-band boundary
+	observe()
+}
+
+func observe() { _ = make([]int, 4) }
+`)
+	if out := res.Outstanding(); len(out) != 0 {
+		t.Fatalf("comma directive did not suppress the named analyzer:\n%s", formatDiags(out))
+	}
+	// And the same fixture through detreach: the second name prunes
+	// that analyzer's walk too.
+	res2 := runFixture(t, DetReachAnalyzer, "mpgraph/internal/core", "internal/core/det_fixture.go", `package core
+
+import "time"
+
+func ReplayCompiled() {
+	//mpg:lint-ignore hotpathprop,detreach shared out-of-band boundary
+	observe()
+}
+
+func observe() { _ = time.Now() }
+`)
+	if out := res2.Outstanding(); len(out) != 0 {
+		t.Fatalf("comma directive did not prune the second analyzer's walk:\n%s", formatDiags(out))
+	}
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathPropAnalyzer is the interprocedural companion to
+// hotpathalloc: it computes the transitive closure of the
+// //mpg:hotpath roots over the call graph and enforces the allocation
+// discipline on everything the roots *reach*, not just their own
+// bodies. hotpathalloc stops at an annotated function's body — a call
+// to an allocating helper escapes it entirely; hotpathprop closes
+// that gap:
+//
+//   - an allocating construct (make/new/append, &composite, slice or
+//     map literal, closure) in a *reachable but unannotated* function
+//     is a gating finding, reported at the construct with the full
+//     call chain from the root ("core.ReplayCompiled →
+//     core.newReplayState: make allocates");
+//   - a call into fmt or reflect anywhere on the closure is gating
+//     (in annotated bodies fmt is already hotpathalloc's finding, so
+//     only unannotated functions report it here);
+//   - a dynamic call (interface dispatch, function value, lost type
+//     info) from any closure member is gating: the callee cannot be
+//     proven allocation-free. Unknown callees taint — they are never
+//     silently dropped;
+//   - a reachable function that lacks the //mpg:hotpath annotation
+//     gets an advisory (info) finding so the annotation set stays
+//     complete: annotating it hands its body to hotpathalloc's
+//     stricter per-construct treatment (including boxing checks).
+//
+// An //mpg:lint-ignore hotpathprop directive on a call site prunes
+// that edge from the closure: the reason justifies the entire subtree
+// behind the call (an out-of-band metrics registry, a caller-provided
+// hook documented as non-hot). Each pruned edge still emits an
+// always-suppressed diagnostic so the report carries the audit trail.
+var HotPathPropAnalyzer = &Analyzer{
+	Name:      "hotpathprop",
+	Doc:       "propagates the //mpg:hotpath allocation discipline through the call graph (transitive closure of the annotated roots)",
+	RunModule: runHotPathProp,
+}
+
+func runHotPathProp(pass *ModulePass) {
+	g := pass.Graph
+	var roots []*FuncNode
+	for _, n := range g.Funcs {
+		if n.HotPath {
+			roots = append(roots, n)
+		}
+	}
+	visited := g.Reach(pass.Analyzer.Name, roots, func(from *FuncNode, e *CallEdge, reason string) {
+		// Audit trail for the pruned boundary; the directive that
+		// caused the prune marks this suppressed, so it never gates.
+		pass.Report(from.Pkg, e.Site, "hot-path propagation stops at the call to %s: callee not proven allocation-free (suppressed boundary)", e.Target())
+	})
+	for _, n := range g.Funcs { // Funcs is name-sorted: deterministic output
+		if _, ok := visited[n]; !ok {
+			continue
+		}
+		chain := Chain(visited, n)
+		if !n.HotPath {
+			pass.ReportInfo(n.Pkg, n.Decl.Pos(), "%s is reachable from //mpg:hotpath roots (via %s) but not annotated; add //mpg:hotpath so hotpathalloc guards its body", n.Name, chain)
+			scanAllocConstructs(n, func(pos token.Pos, what string) {
+				pass.Report(n.Pkg, pos, "%s: %s", chain, what)
+			})
+		}
+		for i := range n.Calls {
+			e := &n.Calls[i]
+			switch e.Kind {
+			case EdgeUnknown:
+				pass.Report(n.Pkg, e.Site, "%s: dynamic call (interface or function value) cannot be proven allocation-free; devirtualize, hoist off the hot path, or suppress the edge with justification", chain)
+			case EdgeExternal:
+				switch e.ExtPkg {
+				case "fmt":
+					if !n.HotPath { // annotated bodies: hotpathalloc already reports fmt
+						pass.Report(n.Pkg, e.Site, "%s: fmt.%s allocates and boxes its operands", chain, e.ExtName)
+					}
+				case "reflect":
+					pass.Report(n.Pkg, e.Site, "%s: reflect.%s reaches the hot path; reflection allocates and defeats devirtualization", chain, e.ExtName)
+				}
+			}
+		}
+	}
+}
+
+// scanAllocConstructs reports the allocating constructs hotpathalloc
+// forbids, for a function that is *not* annotated (so hotpathalloc
+// itself stays silent on it). Boxing analysis is deliberately left to
+// hotpathalloc: the advisory annotation finding nudges the function
+// into the stricter file-local treatment.
+func scanAllocConstructs(n *FuncNode, report func(pos token.Pos, what string)) {
+	if n.Decl.Body == nil {
+		return
+	}
+	pkg := n.Pkg
+	skipComposite := map[*ast.CompositeLit]bool{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			report(x.Pos(), "closure environment may be heap-allocated")
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if cl, ok := x.X.(*ast.CompositeLit); ok {
+					skipComposite[cl] = true
+					report(x.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			if skipComposite[x] {
+				return true
+			}
+			if t := pkg.typeOf(x); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(x.Pos(), kindWord(t)+" literal allocates backing storage")
+				}
+			}
+		case *ast.CallExpr:
+			switch {
+			case pkg.isBuiltin(x, "make"):
+				report(x.Pos(), "make allocates")
+			case pkg.isBuiltin(x, "new"):
+				report(x.Pos(), "new allocates")
+			case pkg.isBuiltin(x, "append"):
+				report(x.Pos(), "append allocates (growth may reallocate the backing array)")
+			}
+		}
+		return true
+	})
+}

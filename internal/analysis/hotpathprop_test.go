@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// The acceptance fixture for the interprocedural engine: an annotated
+// root that delegates its allocation to an unannotated helper.
+// hotpathalloc stops at Root's body — the call is just a call — while
+// hotpathprop follows the edge and reports the helper's make with the
+// full chain.
+const calleeAllocFixture = `package fixture
+
+//mpg:hotpath
+func Root(n int) []float64 {
+	return helper(n)
+}
+
+func helper(n int) []float64 {
+	return make([]float64, n)
+}
+`
+
+func TestHotPathAllocMissesCalleeAlloc(t *testing.T) {
+	res := runFixture(t, HotPathAllocAnalyzer, "mpgraph/internal/core/fixture", "internal/core/fixture/prop.go", calleeAllocFixture)
+	if out := res.Outstanding(); len(out) != 0 {
+		t.Fatalf("hotpathalloc is file-local and must stay silent on a callee's allocation, got:\n%s", formatDiags(out))
+	}
+}
+
+func TestHotPathPropCatchesCalleeAlloc(t *testing.T) {
+	res := runFixture(t, HotPathPropAnalyzer, "mpgraph/internal/core/fixture", "internal/core/fixture/prop.go", calleeAllocFixture)
+	wantOutstanding(t, res, "fixture.Root → fixture.helper: make allocates")
+	// The helper also draws the annotation-completeness advisory at
+	// info severity — visible, never gating.
+	var infos []Diagnostic
+	for _, d := range res.Diagnostics {
+		if d.Severity == SeverityInfo {
+			infos = append(infos, d)
+		}
+	}
+	if len(infos) != 1 || !strings.Contains(infos[0].Message, "but not annotated; add //mpg:hotpath") {
+		t.Errorf("want one annotation advisory, got:\n%s", formatDiags(infos))
+	}
+}
+
+// TestHotPathPropTransitiveChain: the chain in the finding spans every
+// intermediate hop, not just the immediate caller.
+func TestHotPathPropTransitiveChain(t *testing.T) {
+	res := runFixture(t, HotPathPropAnalyzer, "mpgraph/internal/core/fixture", "internal/core/fixture/deep.go", `package fixture
+
+//mpg:hotpath
+func Root() { mid() }
+
+func mid() { leaf() }
+
+func leaf() []int {
+	xs := []int{1}
+	return append(xs, 2)
+}
+`)
+	wantOutstanding(t, res,
+		"fixture.Root → fixture.mid → fixture.leaf: slice literal allocates backing storage",
+		"fixture.Root → fixture.mid → fixture.leaf: append allocates",
+	)
+}
+
+// TestHotPathPropUnknownEdgeGates: a dynamic call from the closure
+// cannot be proven allocation-free, so it taints rather than
+// vanishing.
+func TestHotPathPropUnknownEdgeGates(t *testing.T) {
+	res := runFixture(t, HotPathPropAnalyzer, "mpgraph/internal/core/fixture", "internal/core/fixture/dyn.go", `package fixture
+
+type sampler interface{ sample() float64 }
+
+//mpg:hotpath
+func Root(s sampler) float64 { return s.sample() }
+`)
+	wantOutstanding(t, res, "dynamic call (interface or function value) cannot be proven allocation-free")
+}
+
+// TestHotPathPropExternalCalls: fmt in an unannotated closure member
+// gates (annotated bodies are hotpathalloc's job); reflect gates
+// everywhere on the closure.
+func TestHotPathPropExternalCalls(t *testing.T) {
+	res := runFixture(t, HotPathPropAnalyzer, "mpgraph/internal/core/fixture", "internal/core/fixture/ext.go", `package fixture
+
+import (
+	"fmt"
+	"reflect"
+)
+
+//mpg:hotpath
+func Root(v any) string {
+	_ = reflect.TypeOf(v)
+	return describe(v)
+}
+
+func describe(v any) string { return fmt.Sprintf("%v", v) }
+`)
+	wantOutstanding(t, res,
+		"fixture.Root: reflect.TypeOf reaches the hot path",
+		"fixture.Root → fixture.describe: fmt.Sprintf allocates and boxes its operands",
+	)
+}
+
+// TestHotPathPropEdgePruneStopsSubtree: a justified directive on the
+// call site prunes the whole subtree behind it, leaving only the
+// always-suppressed audit diagnostic.
+func TestHotPathPropEdgePruneStopsSubtree(t *testing.T) {
+	res := runFixture(t, HotPathPropAnalyzer, "mpgraph/internal/core/fixture", "internal/core/fixture/boundary.go", `package fixture
+
+//mpg:hotpath
+func Root() {
+	//mpg:lint-ignore hotpathprop out-of-band observation boundary; nothing feeds back into the replay
+	observe()
+}
+
+func observe() { _ = make([]int, 8) }
+`)
+	if out := res.Outstanding(); len(out) != 0 {
+		t.Fatalf("pruned subtree still gates:\n%s", formatDiags(out))
+	}
+	var audits int
+	for _, d := range res.Diagnostics {
+		if d.Suppressed && strings.Contains(d.Message, "hot-path propagation stops at the call to fixture.observe") {
+			audits++
+		}
+	}
+	if audits != 1 {
+		t.Errorf("want exactly one suppressed boundary audit, got %d:\n%s", audits, formatDiags(res.Diagnostics))
+	}
+}
+
+// TestHotPathPropAnnotatedCalleeDefersToHotpathalloc: an annotated
+// callee's body belongs to hotpathalloc; hotpathprop adds no
+// duplicate construct findings for it.
+func TestHotPathPropAnnotatedCalleeDefersToHotpathalloc(t *testing.T) {
+	res := runFixture(t, HotPathPropAnalyzer, "mpgraph/internal/core/fixture", "internal/core/fixture/annotated.go", `package fixture
+
+//mpg:hotpath
+func Root(n int) []float64 { return helper(n) }
+
+//mpg:hotpath
+func helper(n int) []float64 { return make([]float64, n) }
+`)
+	if out := res.Outstanding(); len(out) != 0 {
+		t.Fatalf("annotated callee must be hotpathalloc's finding, not hotpathprop's:\n%s", formatDiags(out))
+	}
+}

@@ -225,13 +225,21 @@ func (l *Loader) loadPackage(importPath string) (*Package, error) {
 
 // CheckSource type-checks a single in-memory file as a package with
 // the given import path, resolving module imports against the real
-// module source. It exists for fixture tests that embed snippets.
+// module source. It exists for fixture tests that embed snippets. The
+// checked package is registered in the loader's cache, so a later
+// CheckSource on the same loader can import it — which is how the
+// cross-package call-graph fixtures are assembled.
 func (l *Loader) CheckSource(importPath, filename, src string) (*Package, error) {
 	f, err := parser.ParseFile(l.fset, filename, src, parser.ParseComments)
 	if err != nil {
 		return nil, err
 	}
-	return l.check(importPath, path.Dir(filename), []*ast.File{f})
+	pkg, err := l.check(importPath, path.Dir(filename), []*ast.File{f})
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
 }
 
 // check runs the lenient type checker over the parsed files.

@@ -77,22 +77,27 @@ func impPath(imp *ast.ImportSpec) string {
 // if-filter), and at least one of those slices is later passed to a
 // sort-package call inside the same function.
 func checkMapRange(pass *Pass, f *ast.File, rng *ast.RangeStmt) {
-	t := pass.Pkg.typeOf(rng.X)
-	if !isMap(t) {
-		return
+	if mapRangeNondet(pass.Pkg, f, rng) {
+		pass.Report(rng.Pos(), "map iteration order is nondeterministic: collect keys and sort before use, or suppress with justification")
+	}
+}
+
+// mapRangeNondet reports whether rng iterates a map without the
+// collect-then-sort escape hatch (shared with detreach, which applies
+// the same idiom test along replay-reachable paths).
+func mapRangeNondet(pkg *Package, f *ast.File, rng *ast.RangeStmt) bool {
+	if !isMap(pkg.typeOf(rng.X)) {
+		return false
 	}
 	collected := map[string]bool{}
-	if collectOnly(pass, rng.Body.List, collected) && len(collected) > 0 &&
-		sortedLater(pass, f, rng, collected) {
-		return
-	}
-	pass.Report(rng.Pos(), "map iteration order is nondeterministic: collect keys and sort before use, or suppress with justification")
+	return !(collectOnly(pkg, rng.Body.List, collected) && len(collected) > 0 &&
+		sortedLater(pkg, f, rng, collected))
 }
 
 // collectOnly reports whether every statement is an append of the
 // form `s = append(s, ...)` — optionally wrapped in an else-less if —
 // recording the destination slice names.
-func collectOnly(pass *Pass, stmts []ast.Stmt, collected map[string]bool) bool {
+func collectOnly(pkg *Package, stmts []ast.Stmt, collected map[string]bool) bool {
 	for _, st := range stmts {
 		switch x := st.(type) {
 		case *ast.AssignStmt:
@@ -104,7 +109,7 @@ func collectOnly(pass *Pass, stmts []ast.Stmt, collected map[string]bool) bool {
 				return false
 			}
 			call, ok := x.Rhs[0].(*ast.CallExpr)
-			if !ok || !pass.Pkg.isBuiltin(call, "append") || len(call.Args) == 0 {
+			if !ok || !pkg.isBuiltin(call, "append") || len(call.Args) == 0 {
 				return false
 			}
 			if first, ok := call.Args[0].(*ast.Ident); !ok || first.Name != lhs.Name {
@@ -112,7 +117,7 @@ func collectOnly(pass *Pass, stmts []ast.Stmt, collected map[string]bool) bool {
 			}
 			collected[lhs.Name] = true
 		case *ast.IfStmt:
-			if x.Else != nil || x.Init != nil || !collectOnly(pass, x.Body.List, collected) {
+			if x.Else != nil || x.Init != nil || !collectOnly(pkg, x.Body.List, collected) {
 				return false
 			}
 		default:
@@ -125,7 +130,7 @@ func collectOnly(pass *Pass, stmts []ast.Stmt, collected map[string]bool) bool {
 // sortedLater reports whether, after the range statement, the
 // enclosing function passes one of the collected slices to a
 // sort-package function.
-func sortedLater(pass *Pass, f *ast.File, rng *ast.RangeStmt, collected map[string]bool) bool {
+func sortedLater(pkg *Package, f *ast.File, rng *ast.RangeStmt, collected map[string]bool) bool {
 	body := enclosingFuncBody(f, rng)
 	if body == nil {
 		return false
@@ -139,7 +144,7 @@ func sortedLater(pass *Pass, f *ast.File, rng *ast.RangeStmt, collected map[stri
 		if !ok || call.Pos() < rng.End() {
 			return true
 		}
-		if p, _, ok := pass.Pkg.callTarget(call); !ok || (p != "sort" && p != "slices") {
+		if p, _, ok := pkg.callTarget(call); !ok || (p != "sort" && p != "slices") {
 			return true
 		}
 		for _, arg := range call.Args {

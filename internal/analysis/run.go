@@ -3,13 +3,19 @@ package analysis
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the four
+// file-local analyzers from the original suite, then the three
+// interprocedural analyzers layered on the call graph.
 func All() []*Analyzer {
 	return []*Analyzer{
+		ConcDisciplineAnalyzer,
+		DetReachAnalyzer,
 		FloateqAnalyzer,
 		HotPathAllocAnalyzer,
+		HotPathPropAnalyzer,
 		NondetAnalyzer,
 		RNGPurityAnalyzer,
 	}
@@ -47,6 +53,13 @@ type Config struct {
 	Baseline *Baseline
 }
 
+// StageTiming is one timed phase of a Run, for the linter
+// self-benchmark (mpg-bench -lint).
+type StageTiming struct {
+	Name string  `json:"name"`
+	Ms   float64 `json:"ms"`
+}
+
 // Result is the outcome of one Run: every diagnostic produced, with
 // suppressed and baselined ones marked rather than dropped, so
 // reports can show the full picture.
@@ -54,14 +67,22 @@ type Result struct {
 	Diagnostics []Diagnostic
 	// Packages is the number of packages analyzed.
 	Packages int
+	// Graph is the shared call graph, built at most once per run and
+	// reused by every interprocedural analyzer (nil when no selected
+	// analyzer needed it).
+	Graph *CallGraph
+	// Timings records the run's phases in execution order: "load"
+	// (when Run loaded the packages), "callgraph" (when a graph was
+	// built), then one entry per analyzer.
+	Timings []StageTiming
 }
 
 // Outstanding returns the diagnostics that still gate: neither
-// suppressed in source nor absorbed by the baseline.
+// suppressed in source, absorbed by the baseline, nor info-severity.
 func (r *Result) Outstanding() []Diagnostic {
 	var out []Diagnostic
 	for _, d := range r.Diagnostics {
-		if !d.Suppressed && !d.Baselined {
+		if !d.Suppressed && !d.Baselined && d.Severity != SeverityInfo {
 			out = append(out, d)
 		}
 	}
@@ -79,33 +100,60 @@ func Run(dir string, cfg Config) (*Result, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	start := time.Now()
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		return nil, err
 	}
-	return RunPackages(pkgs, cfg)
+	loadMs := float64(time.Since(start)) / float64(time.Millisecond)
+	res, err := RunPackages(pkgs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Timings = append([]StageTiming{{Name: "load", Ms: loadMs}}, res.Timings...)
+	return res, nil
 }
 
 // RunPackages applies the configured analyzers to already-loaded
-// packages (the seam fixture tests use).
+// packages (the seam fixture tests use). The call graph, when any
+// selected analyzer declares RunModule, is built exactly once and
+// shared across all of them.
 func RunPackages(pkgs []*Package, cfg Config) (*Result, error) {
 	analyzers := cfg.Analyzers
 	if len(analyzers) == 0 {
 		analyzers = All()
 	}
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			if !a.appliesTo(pkg.ImportPath) {
-				continue
-			}
-			pass := &Pass{
-				Analyzer: a,
-				Pkg:      pkg,
-				report:   func(d Diagnostic) { diags = append(diags, d) },
-			}
-			a.Run(pass)
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	var timings []StageTiming
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.RunModule != nil && graph == nil {
+			start := time.Now()
+			graph = BuildCallGraph(pkgs)
+			timings = append(timings, StageTiming{Name: "callgraph", Ms: float64(time.Since(start)) / float64(time.Millisecond)})
 		}
+	}
+	for _, a := range analyzers {
+		start := time.Now()
+		if a.RunModule != nil {
+			a.RunModule(&ModulePass{
+				Analyzer: a,
+				Pkgs:     pkgs,
+				Graph:    graph,
+				report:   report,
+			})
+		} else {
+			for _, pkg := range pkgs {
+				if !a.appliesTo(pkg.ImportPath) {
+					continue
+				}
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, report: report})
+			}
+		}
+		timings = append(timings, StageTiming{Name: a.Name, Ms: float64(time.Since(start)) / float64(time.Millisecond)})
+	}
+	for _, pkg := range pkgs {
 		diags = append(diags, directiveDiagnostics(pkg, analyzers)...)
 	}
 	applySuppressions(pkgs, diags)
@@ -113,7 +161,7 @@ func RunPackages(pkgs []*Package, cfg Config) (*Result, error) {
 		cfg.Baseline.absorb(diags)
 	}
 	sortDiagnostics(diags)
-	return &Result{Diagnostics: diags, Packages: len(pkgs)}, nil
+	return &Result{Diagnostics: diags, Packages: len(pkgs), Graph: graph, Timings: timings}, nil
 }
 
 // directiveDiagnostics validates //mpg:lint-ignore directives
@@ -132,24 +180,34 @@ func directiveDiagnostics(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 					continue
 				}
 				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, DirectiveIgnore))
-				name, reason, _ := strings.Cut(rest, " ")
+				names, reason, _ := strings.Cut(rest, " ")
 				pos := pkg.Fset.Position(c.Pos())
-				switch {
-				case name == "":
+				if names == "" {
 					out = append(out, Diagnostic{
 						Analyzer: "directive", File: pos.Filename, Line: pos.Line, Col: pos.Column,
 						Message: "mpg:lint-ignore names no analyzer",
 					})
-				case !known[name]:
-					out = append(out, Diagnostic{
-						Analyzer: "directive", File: pos.Filename, Line: pos.Line, Col: pos.Column,
-						Message: fmt.Sprintf("mpg:lint-ignore names unknown analyzer %q", name),
-					})
-				case strings.TrimSpace(reason) == "":
-					out = append(out, Diagnostic{
-						Analyzer: "directive", File: pos.Filename, Line: pos.Line, Col: pos.Column,
-						Message: fmt.Sprintf("mpg:lint-ignore %s carries no reason; justify the suppression", name),
-					})
+					continue
+				}
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					switch {
+					case name == "":
+						out = append(out, Diagnostic{
+							Analyzer: "directive", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Message: "mpg:lint-ignore has an empty analyzer name in its list",
+						})
+					case !known[name]:
+						out = append(out, Diagnostic{
+							Analyzer: "directive", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Message: fmt.Sprintf("mpg:lint-ignore names unknown analyzer %q", name),
+						})
+					case strings.TrimSpace(reason) == "":
+						out = append(out, Diagnostic{
+							Analyzer: "directive", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Message: fmt.Sprintf("mpg:lint-ignore %s carries no reason; justify the suppression", name),
+						})
+					}
 				}
 			}
 		}

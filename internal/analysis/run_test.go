@@ -3,6 +3,7 @@ package analysis
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -30,6 +31,70 @@ func stamp() int64 { return time.Now().UnixNano() }
 	}
 	if out[0].Analyzer != "nondet" || out[0].File != "internal/core/bad.go" {
 		t.Errorf("unexpected diagnostic: %+v", out[0])
+	}
+}
+
+// TestInjectedInterprocViolationsGate is the CI gate for the
+// call-graph analyzers: a module that hides an allocation behind a
+// call from a hot-path root, reads the wall clock deep under a replay
+// kernel, and copies a mutex in the parallel package must produce one
+// outstanding finding per analyzer.
+func TestInjectedInterprocViolationsGate(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module mpgraph\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "core", "replay.go"), `
+package core
+
+import "time"
+
+//mpg:hotpath
+func ReplayCompiled() []float64 { return expand(4) }
+
+func expand(n int) []float64 { return grow(n) }
+
+func grow(n int) []float64 {
+	observeDeadline()
+	return make([]float64, n)
+}
+
+func observeDeadline() { _ = time.Now() }
+`)
+	writeFile(t, filepath.Join(dir, "internal", "parallel", "pool.go"), `
+package parallel
+
+import "sync"
+
+type workerPool struct {
+	mu sync.Mutex
+}
+
+func (p workerPool) drain() {}
+`)
+	res, err := Run(dir, Config{Analyzers: []*Analyzer{
+		HotPathPropAnalyzer, DetReachAnalyzer, ConcDisciplineAnalyzer,
+	}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	byAnalyzer := map[string][]string{}
+	for _, d := range res.Outstanding() {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], d.Message)
+	}
+	wantContains := map[string]string{
+		"hotpathprop":    "core.ReplayCompiled → core.expand → core.grow: make allocates",
+		"detreach":       "core.ReplayCompiled → core.expand → core.grow → core.observeDeadline: time.Now on a replay-reachable path",
+		"concdiscipline": "method drain copies its receiver workerPool, which contains sync.Mutex (field mu); use a pointer receiver",
+	}
+	for analyzer, want := range wantContains {
+		found := false
+		for _, msg := range byAnalyzer[analyzer] {
+			if strings.Contains(msg, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no outstanding finding containing %q; got %q", analyzer, want, byAnalyzer[analyzer])
+		}
 	}
 }
 

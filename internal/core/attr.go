@@ -28,12 +28,16 @@ type Attribution struct {
 func (a Attribution) Total() float64 { return a.OwnNoise + a.RemoteNoise + a.MsgDelta }
 
 // addOwn returns a with own-noise delta added.
+//
+//mpg:hotpath
 func (a Attribution) addOwn(d float64) Attribution {
 	a.OwnNoise += d
 	return a
 }
 
 // addMsg returns a with message delta added.
+//
+//mpg:hotpath
 func (a Attribution) addMsg(d float64) Attribution {
 	a.MsgDelta += d
 	return a
@@ -42,6 +46,8 @@ func (a Attribution) addMsg(d float64) Attribution {
 // asRemote reclassifies a contribution adopted across a rank boundary:
 // every noise component of the winning path becomes remote noise from
 // the adopter's perspective.
+//
+//mpg:hotpath
 func (a Attribution) asRemote() Attribution {
 	return Attribution{RemoteNoise: a.OwnNoise + a.RemoteNoise, MsgDelta: a.MsgDelta}
 }

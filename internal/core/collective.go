@@ -189,6 +189,8 @@ func CollectiveRoundBytes(kind trace.Kind, bytes int64, round, p int) int64 {
 }
 
 // roundBytes is the payload attributed to one round of a collective.
+//
+//mpg:hotpath
 func roundBytes(kind trace.Kind, bytes int64, round, p int) int64 {
 	switch kind {
 	case trace.KindBarrier, trace.KindCommSplit:
@@ -204,6 +206,8 @@ func roundBytes(kind trace.Kind, bytes int64, round, p int) int64 {
 }
 
 // ceilLog2 returns ceil(log2(p)), minimum 1.
+//
+//mpg:hotpath
 func ceilLog2(p int) int {
 	r := 0
 	for (1 << uint(r)) < p {

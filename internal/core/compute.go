@@ -262,6 +262,7 @@ func (s *collScratch) ensure(p int) {
 //mpg:hotpath
 func resolveExplicitKernel(smp *sampler, kind trace.Kind, bytes int64, root int32, in []collIn, sc *collScratch, outD []float64, outAttr []Attribution, outPred []int32, stride int) float64 {
 	p := len(in)
+	//mpg:lint-ignore hotpathprop lazy scratch growth: the collective working arrays grow monotonically with participant count and are reused across events
 	sc.ensure(p)
 	D := sc.d[:p]
 	A := sc.a[:p]

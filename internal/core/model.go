@@ -366,12 +366,14 @@ func sampleFast(d dist.Distribution, r *dist.RNG) float64 {
 	case dist.Uniform:
 		return v.Sample(r)
 	default:
-		return d.Sample(r)
+		return d.Sample(r) //mpg:lint-ignore hotpathprop interface fallback for custom distributions outside the specialized fast paths; stock models hit the concrete cases above
 	}
 }
 
 // clamp applies the non-negativity rule unless the model allows
 // negative deltas.
+//
+//mpg:hotpath
 func (s *sampler) clamp(v float64) float64 {
 	if v < 0 && !s.model.AllowNegative {
 		return 0
@@ -381,6 +383,8 @@ func (s *sampler) clamp(v float64) float64 {
 
 // noiseDist resolves the noise distribution for a rank (per-rank
 // override first, then the shared one; nil = no noise).
+//
+//mpg:hotpath
 func (s *sampler) noiseDist(rank int) dist.Distribution {
 	if rank < len(s.model.RankOSNoise) && s.model.RankOSNoise[rank] != nil {
 		return s.model.RankOSNoise[rank]
@@ -397,6 +401,7 @@ func (s *sampler) osNoise(rank int) float64 {
 		s.preCur++
 		return v
 	}
+	//mpg:lint-ignore hotpathprop draw-plan recording runs once at plan capture, not during compiled replay
 	if s.rec != nil {
 		s.rec.noise(rank)
 		return 0
@@ -456,6 +461,7 @@ func (s *sampler) latency() float64 {
 		s.preCur++
 		return v
 	}
+	//mpg:lint-ignore hotpathprop draw-plan recording runs once at plan capture, not during compiled replay
 	if s.rec != nil {
 		s.rec.msg(drawLatency, 0)
 		return 0
@@ -479,6 +485,7 @@ func (s *sampler) perByte(bytes int64) float64 {
 		s.preCur++
 		return v
 	}
+	//mpg:lint-ignore hotpathprop draw-plan recording runs once at plan capture, not during compiled replay
 	if s.rec != nil {
 		s.rec.msg(drawPerByte, bytes)
 		return 0

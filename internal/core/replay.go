@@ -26,23 +26,29 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 	if opts.Graph != nil {
 		return nil, errors.New("core: ReplayCompiled cannot feed a graph sink; use Analyze for graph export")
 	}
+	//mpg:lint-ignore hotpathprop,detreach out-of-band metrics boundary: the registry observes the replay but never feeds results back, and the nil-registry fast path is allocation-free
 	defer opts.Metrics.Timer("core_replay_compiled").Start()()
+	//mpg:lint-ignore hotpathprop,detreach out-of-band metrics boundary: spans observe the replay but never feed back into its results
 	defer opts.Metrics.SpanStart("replay")()
 	if model == nil {
 		//mpg:lint-ignore hotpathalloc nil-model fallback; Monte Carlo callers always pass a model
 		model = &Model{}
 	}
-	st, _ := c.pool.Get().(*replayState)
+	st := c.poolGet()
 	if st == nil {
+		//mpg:lint-ignore hotpathprop cold pool-miss path: the replay state is built once and recycled via the pool
 		st = newReplayState(c)
+		//mpg:lint-ignore hotpathprop,detreach out-of-band metrics boundary
 		opts.Metrics.Counter("core_replay_pool_misses_total").Inc()
 	} else {
+		//mpg:lint-ignore hotpathprop,detreach out-of-band metrics boundary
 		opts.Metrics.Counter("core_replay_pool_hits_total").Inc()
 	}
-	defer c.pool.Put(st)
+	defer c.poolPut(st)
 	st.reset(model)
 	recordCrit := opts.RecordCritPath
 	if recordCrit {
+		//mpg:lint-ignore hotpathprop lazy one-time critical-path buffers, allocated on first use and recycled with the pooled state
 		st.ensureCrit(c)
 	}
 
@@ -278,6 +284,7 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 			rr.Events++
 			res.Events++
 			res.DelayStats.Add(endD)
+			//mpg:lint-ignore hotpathprop caller-supplied observation hook, invoked only when the caller opted in
 			if opts.Trajectory != nil {
 				opts.Trajectory(TrajectoryPoint{
 					Rank:    rank,
@@ -288,6 +295,7 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 					Region:  c.regionKeys[o.region].Region,
 				})
 			}
+			//mpg:lint-ignore hotpathprop caller-supplied observation hook, invoked only when the caller opted in
 			if opts.Interval != nil {
 				p := IntervalPoint{
 					Rank:       rank,
@@ -328,6 +336,7 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 		res.Warnings = make([]string, len(c.warnings), len(c.warnings)+1)
 		copy(res.Warnings, c.warnings)
 	}
+	//mpg:lint-ignore hotpathprop once-per-replay warning assembly after the event loop
 	orderViolationWarning(res)
 	res.finalize()
 	// The Result must not reference pooled memory: region stats are
@@ -341,8 +350,10 @@ func ReplayCompiled(c *Compiled, model *Model, opts Options) (*Result, error) {
 		}
 	}
 	if recordCrit {
+		//mpg:lint-ignore hotpathprop once-per-replay path reconstruction after the event loop
 		res.CritPath = buildCritPath(res, st.crit)
 	}
+	//mpg:lint-ignore hotpathprop,detreach out-of-band metrics boundary: recorded after the event loop, never feeds back into replay results
 	if m := opts.Metrics; m != nil {
 		m.Counter("core_replays_total").Inc()
 		m.Counter("core_events_total").Add(res.Events)
@@ -393,6 +404,24 @@ type replayState struct {
 	critStart []critStep
 	crit      [][]critNode
 	critBack  []critNode
+}
+
+// poolGet and poolPut confine the analysis loader's stubbed sync.Pool
+// type to one seam: Get's result is re-typed here, so the replay body
+// downstream keeps statically resolvable method calls in the lint
+// call graph instead of degrading to unprovable dynamic ones.
+//
+//mpg:hotpath
+func (c *Compiled) poolGet() *replayState {
+	//mpg:lint-ignore hotpathprop sync.Pool is stubbed by the analysis loader; Get itself does not allocate (misses take the caller's cold path)
+	st, _ := c.pool.Get().(*replayState)
+	return st
+}
+
+//mpg:hotpath
+func (c *Compiled) poolPut(st *replayState) {
+	//mpg:lint-ignore hotpathprop sync.Pool is stubbed by the analysis loader; Put does not allocate
+	c.pool.Put(st)
 }
 
 func newReplayState(c *Compiled) *replayState {

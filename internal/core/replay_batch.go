@@ -116,7 +116,9 @@ func ReplayBatch(c *Compiled, models []*Model, opts BatchOptions) ([]*Result, er
 		}
 		return []*Result{res}, nil
 	}
+	//mpg:lint-ignore hotpathprop,detreach out-of-band metrics boundary: the registry observes the replay but never feeds results back
 	defer opts.Metrics.Timer("core_replay_batch").Start()()
+	//mpg:lint-ignore hotpathprop,detreach out-of-band metrics boundary: spans observe the replay but never feed back into its results
 	defer opts.Metrics.SpanStart("replay_batch")()
 	K := len(models)
 	for i, m := range models {
@@ -133,17 +135,21 @@ func ReplayBatch(c *Compiled, models []*Model, opts BatchOptions) ([]*Result, er
 		}
 	}
 
-	st, _ := c.batchPool.Get().(*batchState)
+	st := c.batchPoolGet()
 	if st == nil || st.K != K {
+		//mpg:lint-ignore hotpathprop cold pool-miss path: the lane-strided state is built once per K and recycled via the pool
 		st = newBatchState(c, K)
+		//mpg:lint-ignore hotpathprop,detreach out-of-band metrics boundary
 		opts.Metrics.Counter("core_replay_batch_pool_misses_total").Inc()
 	} else {
+		//mpg:lint-ignore hotpathprop,detreach out-of-band metrics boundary
 		opts.Metrics.Counter("core_replay_batch_pool_hits_total").Inc()
 	}
-	defer c.batchPool.Put(st)
+	defer c.batchPoolPut(st)
 	st.reset(models)
 	recordCrit := opts.RecordCritPath
 	if recordCrit {
+		//mpg:lint-ignore hotpathprop lazy one-time critical-path buffers, allocated on first use and recycled with the pooled state
 		st.ensureCrit(c)
 	}
 
@@ -180,6 +186,7 @@ func ReplayBatch(c *Compiled, models []*Model, opts BatchOptions) ([]*Result, er
 			r.Warnings = make([]string, len(c.warnings), len(c.warnings)+1)
 			copy(r.Warnings, c.warnings)
 		}
+		//mpg:lint-ignore hotpathprop once-per-replay warning assembly after the event loop
 		orderViolationWarning(r)
 		r.finalize()
 		if len(c.regionKeys) > 0 {
@@ -192,10 +199,12 @@ func ReplayBatch(c *Compiled, models []*Model, opts BatchOptions) ([]*Result, er
 			}
 		}
 		if recordCrit {
+			//mpg:lint-ignore hotpathprop once-per-replay path reconstruction after the event loop
 			r.CritPath = buildCritPath(r, st.crit[k*c.nranks:(k+1)*c.nranks])
 		}
 	}
 
+	//mpg:lint-ignore hotpathprop,detreach out-of-band metrics boundary: recorded after the event loop, never feeds back into replay results
 	if m := opts.Metrics; m != nil {
 		m.Counter("core_replay_batches_total").Inc()
 		m.Gauge("core_replay_batch_lanes").SetMax(float64(K))
@@ -302,6 +311,20 @@ type batchState struct {
 	critStart []critStep // rank*K+k
 	crit      [][]critNode
 	critBack  []critNode
+}
+
+// batchPoolGet and batchPoolPut confine the analysis loader's stubbed
+// sync.Pool to one seam, mirroring poolGet/poolPut for the scalar
+// replay state.
+func (c *Compiled) batchPoolGet() *batchState {
+	//mpg:lint-ignore hotpathprop sync.Pool is stubbed by the analysis loader; Get itself does not allocate (misses take the caller's cold path)
+	st, _ := c.batchPool.Get().(*batchState)
+	return st
+}
+
+func (c *Compiled) batchPoolPut(st *batchState) {
+	//mpg:lint-ignore hotpathprop sync.Pool is stubbed by the analysis loader; Put does not allocate
+	c.batchPool.Put(st)
 }
 
 func newBatchState(c *Compiled, K int) *batchState {
@@ -440,10 +463,10 @@ func sitePerByte(m *Model) dist.Distribution    { return m.PerByte }
 // (sampler, false) when every lane shares the same batchable value,
 // (nil, true) when every lane resolves nil, (nil, false) otherwise.
 func planLaneSite(models []*Model, site func(*Model) dist.Distribution) (dist.BatchSampler, bool) {
-	d0 := site(models[0])
+	d0 := site(models[0]) //mpg:lint-ignore hotpathprop site accessor func value runs at plan-build time (once per reset), not in the per-event loop
 	if d0 == nil {
 		for _, m := range models[1:] {
-			if site(m) != nil {
+			if site(m) != nil { //mpg:lint-ignore hotpathprop site accessor func value runs at plan-build time (once per reset), not in the per-event loop
 				return nil, false
 			}
 		}
@@ -459,7 +482,7 @@ func planLaneSite(models []*Model, site func(*Model) dist.Distribution) (dist.Ba
 		// panics only when *both* operands carry the same
 		// non-comparable type, and batchableDist whitelisted d0's type
 		// as comparable.
-		if site(m) != d0 {
+		if site(m) != d0 { //mpg:lint-ignore hotpathprop site accessor func value runs at plan-build time (once per reset), not in the per-event loop
 			return nil, false
 		}
 	}
@@ -494,7 +517,7 @@ func (st *batchState) drawNoiseLanes(rank int, dst []float64) {
 		return
 	}
 	if b := st.noiseB[rank]; b != nil {
-		b.SampleInto(dst, 1, st.rng[(1+rank)*st.K:(2+rank)*st.K])
+		b.SampleInto(dst, 1, st.rng[(1+rank)*st.K:(2+rank)*st.K]) //mpg:lint-ignore hotpathprop BatchSampler dispatch amortizes one dynamic call across K lanes; implementations are the dist SampleInto kernels, themselves //mpg:hotpath-guarded
 		for k := range dst {
 			smp := &st.smps[k]
 			smp.nNoise++
@@ -541,7 +564,7 @@ func (st *batchState) drawLatencyLanes(dst []float64) {
 		return
 	}
 	if st.latB != nil {
-		st.latB.SampleInto(dst, 1, st.rng[:st.K])
+		st.latB.SampleInto(dst, 1, st.rng[:st.K]) //mpg:lint-ignore hotpathprop BatchSampler dispatch amortizes one dynamic call across K lanes; implementations are the dist SampleInto kernels, themselves //mpg:hotpath-guarded
 		for k := range dst {
 			smp := &st.smps[k]
 			smp.nMsg++
@@ -567,7 +590,7 @@ func (st *batchState) drawPerByteLanes(bytes int64, dst []float64) {
 		return
 	}
 	if st.pbB != nil {
-		st.pbB.SampleInto(dst, 1, st.rng[:st.K])
+		st.pbB.SampleInto(dst, 1, st.rng[:st.K]) //mpg:lint-ignore hotpathprop BatchSampler dispatch amortizes one dynamic call across K lanes; implementations are the dist SampleInto kernels, themselves //mpg:hotpath-guarded
 		fb := float64(bytes)
 		for k := range dst {
 			smp := &st.smps[k]
@@ -812,6 +835,7 @@ func (st *batchState) walk(c *Compiled, recordCrit bool, lt func(int, Trajectory
 				// serial divide in Add pipelines across lanes here instead
 				// of stalling one chain per event as the scalar replay must.
 				st.delayAcc[k].Add(endD)
+				//mpg:lint-ignore hotpathprop caller-supplied observation hook, invoked only when the caller opted in
 				if lt != nil {
 					lt(k, TrajectoryPoint{
 						Rank:    rank,
@@ -822,6 +846,7 @@ func (st *batchState) walk(c *Compiled, recordCrit bool, lt func(int, Trajectory
 						Region:  c.regionKeys[o.region].Region,
 					})
 				}
+				//mpg:lint-ignore hotpathprop caller-supplied observation hook, invoked only when the caller opted in
 				if li != nil {
 					p := IntervalPoint{
 						Rank:       rank,

@@ -458,6 +458,20 @@ type parState struct {
 	recordCrit bool
 }
 
+// parPoolGet and parPoolPut confine the analysis loader's stubbed
+// sync.Pool to one seam, mirroring poolGet/poolPut for the scalar
+// replay state.
+func (c *Compiled) parPoolGet() *parState {
+	//mpg:lint-ignore hotpathprop sync.Pool is stubbed by the analysis loader; Get itself does not allocate (misses take the caller's cold path)
+	st, _ := c.parPool.Get().(*parState)
+	return st
+}
+
+func (c *Compiled) parPoolPut(st *parState) {
+	//mpg:lint-ignore hotpathprop sync.Pool is stubbed by the analysis loader; Put does not allocate
+	c.parPool.Put(st)
+}
+
 func newParState(c *Compiled) *parState {
 	n := c.nranks
 	total := c.evBase[n]
@@ -843,7 +857,9 @@ func ReplayParallel(c *Compiled, model *Model, opts Options, workers int) (*Resu
 	if opts.Graph != nil {
 		return nil, errors.New("core: ReplayParallel cannot feed a graph sink; use Analyze for graph export")
 	}
+	//mpg:lint-ignore hotpathprop,detreach out-of-band metrics boundary: the registry observes the replay but never feeds results back
 	defer opts.Metrics.Timer("core_replay_parallel").Start()()
+	//mpg:lint-ignore hotpathprop,detreach out-of-band metrics boundary: spans observe the replay but never feed back into its results
 	defer opts.Metrics.SpanStart("replay_parallel")()
 	if model == nil {
 		model = &Model{}
@@ -860,11 +876,14 @@ func ReplayParallel(c *Compiled, model *Model, opts Options, workers int) (*Resu
 		workers = 1
 	}
 
-	st, _ := c.parPool.Get().(*parState)
+	st := c.parPoolGet()
 	if st == nil {
+		//mpg:lint-ignore hotpathprop cold pool-miss path: the parallel state is built once and recycled via the pool
 		st = newParState(c)
+		//mpg:lint-ignore hotpathprop,detreach out-of-band metrics boundary
 		opts.Metrics.Counter("core_replay_par_pool_misses_total").Inc()
 	} else {
+		//mpg:lint-ignore hotpathprop,detreach out-of-band metrics boundary
 		opts.Metrics.Counter("core_replay_par_pool_hits_total").Inc()
 	}
 
@@ -882,6 +901,7 @@ func ReplayParallel(c *Compiled, model *Model, opts Options, workers int) (*Resu
 	// Phases 1+2: every worker prefetches its share of the RNG
 	// streams, rendezvouses, then advances its rank streams through
 	// the slab schedule.
+	//mpg:lint-ignore hotpathprop,detreach out-of-band metrics boundary
 	runSlabs := opts.Metrics.SpanStart("replay_slabs")
 	err := st.frontier.Run(workers, plan.targets,
 		func(me int) {
@@ -900,6 +920,7 @@ func ReplayParallel(c *Compiled, model *Model, opts Options, workers int) (*Resu
 	}
 
 	// Phase 3: serial, global-order finalization.
+	//mpg:lint-ignore hotpathprop,detreach out-of-band metrics boundary
 	finSpan := opts.Metrics.SpanStart("replay_finalize")
 	var nNoise, nMsg int64
 	for i := range st.workers {
@@ -961,6 +982,7 @@ func ReplayParallel(c *Compiled, model *Model, opts Options, workers int) (*Resu
 		res.Warnings = make([]string, len(c.warnings), len(c.warnings)+1)
 		copy(res.Warnings, c.warnings)
 	}
+	//mpg:lint-ignore hotpathprop once-per-replay warning assembly after the event loop
 	orderViolationWarning(res)
 	res.finalize()
 	if len(c.regionKeys) > 0 {
@@ -971,10 +993,12 @@ func ReplayParallel(c *Compiled, model *Model, opts Options, workers int) (*Resu
 		}
 	}
 	if opts.RecordCritPath {
+		//mpg:lint-ignore hotpathprop once-per-replay path reconstruction after the event loop
 		res.CritPath = buildCritPath(res, st.crit)
 	}
 	finSpan()
 
+	//mpg:lint-ignore hotpathprop,detreach out-of-band metrics boundary: recorded after the event loop, never feeds back into replay results
 	if m := opts.Metrics; m != nil {
 		m.Counter("core_replays_total").Inc()
 		m.Counter("core_replays_parallel_total").Inc()
@@ -996,6 +1020,6 @@ func ReplayParallel(c *Compiled, model *Model, opts Options, workers int) (*Resu
 	// Drop per-replay bindings before pooling so the pooled state
 	// retains neither the Result nor the model.
 	st.res, st.model, st.plan, st.draws = nil, nil, nil, nil
-	c.parPool.Put(st)
+	c.parPoolPut(st)
 	return res, nil
 }

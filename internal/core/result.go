@@ -163,6 +163,8 @@ func (r *Result) warnf(format string, args ...interface{}) {
 }
 
 // finalize computes the aggregate fields from per-rank data.
+//
+//mpg:hotpath
 func (r *Result) finalize() {
 	var origMax, newMax float64
 	var sum float64

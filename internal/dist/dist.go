@@ -45,6 +45,8 @@ type Uniform struct {
 }
 
 // Sample implements Distribution.
+//
+//mpg:hotpath
 func (u Uniform) Sample(r *RNG) float64 {
 	return u.Low + (u.High-u.Low)*r.Float64()
 }

@@ -26,6 +26,8 @@ type RNG struct {
 
 // splitMix64 is used to seed the xoshiro state from a single word, as
 // recommended by the xoshiro authors.
+//
+//mpg:hotpath
 func splitMix64(x uint64) (uint64, uint64) {
 	x += 0x9e3779b97f4a7c15
 	z := x
@@ -46,6 +48,8 @@ func NewRNG(seed uint64) *RNG {
 // Reseed reinitializes r in place, exactly as NewRNG(seed) would,
 // without allocating. It exists for pooled replay state that re-seeds
 // a fixed hierarchy of generators once per replay.
+//
+//mpg:hotpath
 func (r *RNG) Reseed(seed uint64) {
 	x := seed
 	for i := range r.s {
@@ -63,6 +67,8 @@ func (r *RNG) Reseed(seed uint64) {
 // it stays under the compiler's inlining budget — every sampler fast
 // path draws through here, and the per-draw call overhead is
 // measurable at replay scale.
+//
+//mpg:hotpath
 func (r *RNG) Uint64() uint64 {
 	s1 := r.s[1]
 	x := bits.RotateLeft64(s1*5, 7) * 9
@@ -76,6 +82,8 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Float64 returns a value uniformly distributed in [0, 1).
+//
+//mpg:hotpath
 func (r *RNG) Float64() float64 {
 	// 53 high bits -> [0,1) with full double precision.
 	return float64(r.Uint64()>>11) / (1 << 53)
@@ -83,6 +91,8 @@ func (r *RNG) Float64() float64 {
 
 // Float64Open returns a value uniformly distributed in (0, 1).
 // Useful for inverse-CDF sampling where log(0) must be avoided.
+//
+//mpg:hotpath
 func (r *RNG) Float64Open() float64 {
 	for {
 		v := r.Float64()
@@ -129,6 +139,8 @@ func (r *RNG) ForkNamed(label string) *RNG {
 // ForkNamedInto is ForkNamed writing into an existing generator
 // instead of allocating one: dst ends in exactly the state
 // ForkNamed(label)'s result would have, and r advances identically.
+//
+//mpg:hotpath
 func (r *RNG) ForkNamedInto(label string, dst *RNG) {
 	dst.Reseed(r.Uint64() ^ fnv64(label))
 }
@@ -168,6 +180,8 @@ func ForkHierarchyIntoStride(seed uint64, labels []string, dst []RNG, stride int
 
 // fnv64 is the FNV-1a hash of the label, the stable component of the
 // named-fork seed derivation.
+//
+//mpg:hotpath
 func fnv64(label string) uint64 {
 	h := uint64(1469598103934665603) // FNV-64 offset basis
 	for i := 0; i < len(label); i++ {

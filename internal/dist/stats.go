@@ -104,6 +104,8 @@ type Welford struct {
 }
 
 // Add records one observation.
+//
+//mpg:hotpath
 func (w *Welford) Add(x float64) {
 	w.n++
 	if w.n == 1 {

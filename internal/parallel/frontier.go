@@ -62,7 +62,7 @@ func (f *Frontier) Streams() int { return len(f.slots) }
 // caller that observes At(s) >= p.
 //
 //mpg:hotpath
-func (f *Frontier) At(s int) int64 { return f.slots[s].pos.Load() }
+func (f *Frontier) At(s int) int64 { return f.slots[s].pos.Load() } //mpg:lint-ignore hotpathprop atomic.Int64 is stubbed by the analysis loader; Load is a single atomic read
 
 // Publish records stream s's new position mid-advance, making every
 // write the stream performed up to that position visible to other
@@ -70,7 +70,7 @@ func (f *Frontier) At(s int) int64 { return f.slots[s].pos.Load() }
 // worker currently advancing stream s may publish it.
 //
 //mpg:hotpath
-func (f *Frontier) Publish(s int, pos int64) { f.slots[s].pos.Store(pos) }
+func (f *Frontier) Publish(s int, pos int64) { f.slots[s].pos.Store(pos) } //mpg:lint-ignore hotpathprop atomic.Int64 is stubbed by the analysis loader; Store is a single atomic write
 
 // Stalls reports how many scheduler yields the last Run performed
 // (cycles in which a worker found none of its streams advanceable).

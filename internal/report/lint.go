@@ -14,7 +14,13 @@ type LintDiagnostic struct {
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
-	Message  string `json:"message"`
+	// Func is the enclosing function of the finding ("" at file
+	// scope); it keys baseline fingerprints.
+	Func    string `json:"func,omitempty"`
+	Message string `json:"message"`
+	// Severity is "" for gating findings and "info" for advisories
+	// that never gate.
+	Severity string `json:"severity,omitempty"`
 
 	Suppressed bool   `json:"suppressed,omitempty"`
 	Reason     string `json:"reason,omitempty"`
@@ -27,11 +33,16 @@ type LintReport struct {
 	Packages int `json:"packages"`
 	// Analyzers lists the analyzers that ran.
 	Analyzers []string `json:"analyzers"`
+	// AnalyzerDocs carries each analyzer's one-line doc, index-aligned
+	// with Analyzers; the SARIF writer renders them as rule
+	// descriptions. Omitted from the JSON report to keep it stable.
+	AnalyzerDocs []string `json:"-"`
 	// Diagnostics holds every finding, including suppressed and
 	// baselined ones (marked as such).
 	Diagnostics []LintDiagnostic `json:"diagnostics"`
 	// Outstanding counts the gating findings: neither suppressed
-	// nor baselined. The process exit code is derived from it.
+	// nor baselined nor info-severity. The process exit code is
+	// derived from it.
 	Outstanding int `json:"outstanding"`
 }
 
@@ -42,23 +53,28 @@ func (r *LintReport) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// WriteText renders the report as file:line:col lines, gating
-// findings first, then a one-line summary.
+// WriteText renders the report as file:line:col lines — gating
+// findings bare, advisories tagged "info:" — then a one-line summary.
 func (r *LintReport) WriteText(w io.Writer) error {
-	var suppressed, baselined int
+	var suppressed, baselined, info int
 	for _, d := range r.Diagnostics {
 		switch {
 		case d.Suppressed:
 			suppressed++
 		case d.Baselined:
 			baselined++
+		case d.Severity == "info":
+			info++
+			if _, err := fmt.Fprintf(w, "%s:%d:%d: %s: info: %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message); err != nil {
+				return err
+			}
 		default:
 			if _, err := fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message); err != nil {
 				return err
 			}
 		}
 	}
-	_, err := fmt.Fprintf(w, "mpg-lint: %d packages, %d outstanding, %d suppressed, %d baselined\n",
-		r.Packages, r.Outstanding, suppressed, baselined)
+	_, err := fmt.Fprintf(w, "mpg-lint: %d packages, %d outstanding, %d info, %d suppressed, %d baselined\n",
+		r.Packages, r.Outstanding, info, suppressed, baselined)
 	return err
 }

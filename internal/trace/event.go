@@ -141,6 +141,8 @@ func (k Kind) IsCompletion() bool { return k == KindWait || k == KindWaitall }
 
 // IsRooted reports whether the collective has a distinguished root rank
 // whose role matters for the graph model (Reduce/Bcast/Gather/Scatter).
+//
+//mpg:hotpath
 func (k Kind) IsRooted() bool {
 	switch k {
 	case KindBcast, KindReduce, KindGather, KindScatter:
